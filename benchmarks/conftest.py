@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Adds ``src/`` to ``sys.path`` (so the benchmarks run without installation)
+and provides the shared scale fixture.  Set the environment variable
+``REPRO_BENCH_SCALE`` to ``quick`` / ``default`` / ``full`` to trade run time
+against fidelity to the paper's budgets; see ``benchmarks/_harness.py``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,60 @@
+"""Design-choice ablation: onion-sampling parameters (shells K, budget J, threshold τ).
+
+Sweeps the three knobs of Algorithm 1 on a problem with a known failure
+probability and records how many failure points each configuration finds per
+simulation — the quantity that determines how well the flow can be trained
+from the pre-sampling stage alone.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import bench_scale
+from repro.core.onion import OnionSampler
+from repro.problems import MultiRegionProblem
+
+
+def _run_sweep():
+    dim = 16 if bench_scale() == "quick" else 108
+    factory = lambda: MultiRegionProblem(dim, n_regions=4, threshold_sigma=3.3)
+    budget = 2_000 if bench_scale() == "quick" else 4_000
+    rows = []
+    for n_shells in (10, 20, 40):
+        for stop_threshold in (0.0, 0.005, 0.05):
+            problem = factory()
+            sampler = OnionSampler(
+                n_shells=n_shells,
+                samples_per_shell=max(budget // n_shells, 10),
+                stop_threshold=stop_threshold,
+                max_simulations=budget,
+            )
+            result = sampler.sample(problem, seed=5)
+            rows.append(
+                {
+                    "n_shells": n_shells,
+                    "stop_threshold": stop_threshold,
+                    "n_simulations": result.n_simulations,
+                    "n_failures": result.n_failures,
+                    "failures_per_1k_sims": 1000.0 * result.n_failures / max(result.n_simulations, 1),
+                    "stopped_early": result.stopped_early,
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_onion_parameters(benchmark):
+    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'K':>4} {'tau':>7} {'sims':>7} {'failures':>9} {'fails/1k':>9} {'early stop':>11}")
+    for row in rows:
+        print(
+            f"{row['n_shells']:>4d} {row['stop_threshold']:>7.3f} {row['n_simulations']:>7d} "
+            f"{row['n_failures']:>9d} {row['failures_per_1k_sims']:>9.1f} "
+            f"{str(row['stopped_early']):>11}"
+        )
+    benchmark.extra_info["rows"] = rows
+    # The sweep must produce at least one configuration that finds failures.
+    assert max(row["n_failures"] for row in rows) > 0
+    # A permissive threshold (tau = 0) never stops the scan early.
+    assert all(not row["stopped_early"] for row in rows if row["stop_threshold"] == 0.0)

@@ -1,0 +1,22 @@
+"""Table I (569-dimensional array) and Fig. 4 convergence curves.
+
+Second column of the paper's Table I on the scaled 569-dimensional
+commercial-style SRAM array (BSIM4-style variation mapping).
+"""
+
+import pytest
+
+from benchmarks._harness import assert_rare_event_table, run_table_benchmark
+from repro.problems import make_sram_problem
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_fig4_sram569(benchmark):
+    table = run_table_benchmark(
+        benchmark,
+        problem_key="sram_569",
+        problem_factory=lambda: make_sram_problem("sram_569"),
+        csv_name="table1_sram569.csv",
+        seed=569,
+    )
+    assert_rare_event_table(table)

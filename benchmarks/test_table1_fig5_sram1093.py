@@ -1,0 +1,23 @@
+"""Table I (1093-dimensional array) and Fig. 5 convergence curves.
+
+Third column of the paper's Table I on the scaled 1093-dimensional SRAM
+array (detailed BSIM5-style variation mapping — the highest-dimensional case
+the paper evaluates).
+"""
+
+import pytest
+
+from benchmarks._harness import assert_rare_event_table, run_table_benchmark
+from repro.problems import make_sram_problem
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_fig5_sram1093(benchmark):
+    table = run_table_benchmark(
+        benchmark,
+        problem_key="sram_1093",
+        problem_factory=lambda: make_sram_problem("sram_1093"),
+        csv_name="table1_sram1093.csv",
+        seed=1093,
+    )
+    assert_rare_event_table(table)

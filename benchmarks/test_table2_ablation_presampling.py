@@ -1,0 +1,83 @@
+"""Table II: onion pre-sampling ablation (AIS/ACS vs AIS+/ACS+).
+
+The paper equips AIS and ACS with onion sampling as their pre-sampling stage
+and reports ~1.2x accuracy and ~1.2-1.3x simulation-count improvements on the
+108-dimensional circuit with a 1700-sample initial budget.  This benchmark
+repeats the experiment (at the scaled failure level) and records the same
+improvement ratios.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks._harness import bench_scale
+from repro.baselines import ACS, AIS
+from repro.problems import MultiRegionProblem, make_sram_problem
+
+
+def _problem_factory():
+    if bench_scale() == "quick":
+        return lambda: MultiRegionProblem(16, n_regions=4, threshold_sigma=3.3)
+    return lambda: make_sram_problem("sram_108")
+
+
+def _run_ablation():
+    factory = _problem_factory()
+    reference = factory().true_failure_probability
+    max_simulations = 8_000 if bench_scale() == "quick" else 40_000
+    presample_budget = 1_700  # the paper's initial sampling budget
+    results = {}
+    for label, estimator in {
+        "AIS": AIS(max_simulations=max_simulations, presample_budget=presample_budget),
+        "AIS+": AIS(max_simulations=max_simulations, presample_budget=presample_budget,
+                    presampler="onion"),
+        "ACS": ACS(max_simulations=max_simulations, presample_budget=presample_budget),
+        "ACS+": ACS(max_simulations=max_simulations, presample_budget=presample_budget,
+                    presampler="onion"),
+    }.items():
+        result = estimator.estimate(factory(), seed=17)
+        error = (
+            abs(result.failure_probability - reference) / reference
+            if result.failure_probability > 0
+            else float("inf")
+        )
+        results[label] = {
+            "pf": result.failure_probability,
+            "rel_error": error,
+            "n_simulations": result.n_simulations,
+        }
+    return reference, results
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_onion_presampling_ablation(benchmark):
+    reference, results = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    print()
+    print(f"reference Pf = {reference:.3e}")
+    print(f"{'method':<6} {'Pf':>12} {'rel. error':>12} {'# of sim.':>10}")
+    for label, row in results.items():
+        print(f"{label:<6} {row['pf']:>12.3e} {row['rel_error']:>12.2%} "
+              f"{row['n_simulations']:>10d}")
+        benchmark.extra_info[label] = row
+
+    for plain, plus in (("AIS", "AIS+"), ("ACS", "ACS+")):
+        error_improvement = (
+            results[plain]["rel_error"] / results[plus]["rel_error"]
+            if results[plus]["rel_error"] > 0
+            else float("inf")
+        )
+        sim_improvement = results[plain]["n_simulations"] / max(
+            results[plus]["n_simulations"], 1
+        )
+        print(f"{plain} -> {plus}: accuracy improvement {error_improvement:.2f}x, "
+              f"simulation improvement {sim_improvement:.2f}x")
+        benchmark.extra_info[f"{plus}_accuracy_improvement"] = error_improvement
+        benchmark.extra_info[f"{plus}_simulation_improvement"] = sim_improvement
+
+    # Both augmented variants must produce estimates; the paper's shape claim
+    # (onion pre-sampling does not hurt and typically helps) is recorded as
+    # extra_info rather than hard-asserted because single runs are noisy.
+    assert results["AIS+"]["pf"] > 0
+    assert results["ACS+"]["pf"] > 0

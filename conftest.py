@@ -1,0 +1,13 @@
+"""Repository-root pytest configuration.
+
+Adds ``src/`` to ``sys.path`` so the test-suite and benchmarks run even when
+the package has not been pip-installed (useful on fully offline machines
+where ``pip install -e .`` may be unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

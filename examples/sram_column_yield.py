@@ -1,0 +1,94 @@
+"""SRAM column walk-through: circuit structure, delay statistics and yield.
+
+This example goes one level below the quickstart: it builds the SPICE-
+substitute SRAM column explicitly, inspects its netlist and variation map,
+looks at the read/write delay distribution under process variation, and only
+then runs the yield estimators — the workflow a designer would follow when
+qualifying a bit-cell array.
+
+Run with::
+
+    python examples/sram_column_yield.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import MonteCarlo, Optimis, OptimisConfig
+from repro.problems import make_sram_problem
+from repro.spice import SramColumn, SramColumnSpec, SramSimulator
+
+
+def inspect_circuit() -> SramColumn:
+    """Build the 108-parameter column and print its structural summary."""
+    column = SramColumn(SramColumnSpec.column_108())
+    print("=== Circuit structure ===")
+    print(column.describe())
+    print(column.netlist.summary())
+    counts = {}
+    for device in column.netlist.devices:
+        counts[device.role] = counts.get(device.role, 0) + 1
+    for role, count in sorted(counts.items()):
+        print(f"  {count:3d} x {role}")
+    print()
+    return column
+
+
+def delay_statistics(column: SramColumn, n_samples: int = 50_000, seed: int = 0) -> None:
+    """Monte-Carlo look at the read/write delay distribution."""
+    simulator = SramSimulator(column)
+    rng = np.random.default_rng(seed)
+    metrics = simulator.simulate(rng.standard_normal((n_samples, column.dimension)))
+    print("=== Delay distribution under process variation ===")
+    for name, values in zip(simulator.METRIC_NAMES, metrics.T):
+        quantiles = np.quantile(values, [0.5, 0.99, 0.999, 0.9999])
+        print(
+            f"  {name:<12s} median {quantiles[0]:.3e} s   "
+            f"p99 {quantiles[1]:.3e}   p99.9 {quantiles[2]:.3e}   p99.99 {quantiles[3]:.3e}"
+        )
+    print()
+
+
+def estimate_yield(seed: int = 1) -> int:
+    """Estimate the failure probability with Monte Carlo and OPTIMIS."""
+    print("=== Yield estimation (scaled 108-dimensional problem) ===")
+    problem = make_sram_problem("sram_108")
+    reference = problem.true_failure_probability
+    print(f"Golden reference Pf: {reference:.3e}")
+
+    monte_carlo = MonteCarlo(fom_target=0.1, max_simulations=2_000_000, batch_size=100_000)
+    mc_result = monte_carlo.estimate(problem, seed=seed)
+    print(
+        f"MC      : Pf = {mc_result.failure_probability:.3e}  "
+        f"sims = {mc_result.n_simulations}  fom = {mc_result.fom:.3f}"
+    )
+
+    problem = make_sram_problem("sram_108")
+    optimis = Optimis(
+        fom_target=0.1,
+        max_simulations=50_000,
+        config=OptimisConfig.for_dimension(problem.dimension),
+    )
+    op_result = optimis.estimate(problem, seed=seed)
+    print(
+        f"OPTIMIS : Pf = {op_result.failure_probability:.3e}  "
+        f"sims = {op_result.n_simulations}  fom = {op_result.fom:.3f}"
+    )
+    if op_result.n_simulations:
+        print(f"Speed-up over MC: {mc_result.n_simulations / op_result.n_simulations:.1f}x")
+    error = abs(op_result.failure_probability - reference) / reference
+    print(f"OPTIMIS relative error vs golden reference: {error:.2%}")
+    return 0 if error < 1.0 else 1
+
+
+def main() -> int:
+    column = inspect_circuit()
+    delay_statistics(column)
+    return estimate_yield()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""OPTIMIS: Optimal Manifold Importance Sampling for SRAM yield estimation.
+
+A from-scratch reproduction of *"Seeking the Yield Barrier: High-Dimensional
+SRAM Evaluation Through Optimal Manifold"* (Liu, Dai, Xing; DAC 2023),
+including the SPICE-substitute SRAM simulator, the normalizing-flow proposal
+(with its own numpy autodiff engine), onion sampling, the OPTIMIS estimator
+and all six baseline methods the paper compares against.
+
+Quick start
+-----------
+>>> from repro import Optimis, make_sram_problem
+>>> problem = make_sram_problem("sram_108")
+>>> result = Optimis(max_simulations=20_000).estimate(problem, seed=0)
+>>> 0.0 < result.failure_probability < 1.0
+True
+
+See ``examples/`` for complete, commented scenarios and ``benchmarks/`` for
+the scripts regenerating every table and figure of the paper.
+"""
+
+from repro.core.estimator import EstimationResult, YieldEstimator
+from repro.core.onion import OnionResult, OnionSampler
+from repro.core.optimis import Optimis, OptimisConfig
+from repro.baselines import ACS, AIS, ASDK, HSCS, LRTA, MNIS, MonteCarlo
+from repro.problems import (
+    YieldProblem,
+    make_sram_problem,
+    make_toy_problems,
+    get_problem,
+    list_problems,
+)
+from repro.analysis import (
+    run_comparison,
+    run_robustness_study,
+    default_estimators,
+    format_table,
+    format_robustness_table,
+)
+from repro.flows import NeuralSplineFlow, FlowConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EstimationResult",
+    "YieldEstimator",
+    "OnionResult",
+    "OnionSampler",
+    "Optimis",
+    "OptimisConfig",
+    "MonteCarlo",
+    "MNIS",
+    "HSCS",
+    "AIS",
+    "ACS",
+    "LRTA",
+    "ASDK",
+    "YieldProblem",
+    "make_sram_problem",
+    "make_toy_problems",
+    "get_problem",
+    "list_problems",
+    "run_comparison",
+    "run_robustness_study",
+    "default_estimators",
+    "format_table",
+    "format_robustness_table",
+    "NeuralSplineFlow",
+    "FlowConfig",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Experiment harness: metrics, comparison runs, robustness studies, tables.
+
+This package turns individual :class:`~repro.core.estimator.EstimationResult`
+objects into the artefacts the paper reports: the numerical comparison of
+Table I (failure probability, relative error, simulation count, speed-up over
+Monte Carlo), the pre-sampling ablation of Table II, the robustness study of
+Table III and the convergence curves of Figs. 3–5.
+"""
+
+from repro.analysis.metrics import relative_error, speedup, failure_run, summarise_runs
+from repro.analysis.experiment import (
+    ComparisonRow,
+    ComparisonTable,
+    run_comparison,
+    default_estimators,
+)
+from repro.analysis.robustness import RobustnessSummary, run_robustness_study
+from repro.analysis.tables import format_table, format_robustness_table
+
+__all__ = [
+    "relative_error",
+    "speedup",
+    "failure_run",
+    "summarise_runs",
+    "ComparisonRow",
+    "ComparisonTable",
+    "run_comparison",
+    "default_estimators",
+    "RobustnessSummary",
+    "run_robustness_study",
+    "format_table",
+    "format_robustness_table",
+]

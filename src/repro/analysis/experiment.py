@@ -1,0 +1,147 @@
+"""Comparison experiments: the Table I / Figs. 3–5 harness.
+
+:func:`run_comparison` runs a set of estimators against one problem and
+collects per-method rows (failure probability, relative error, simulation
+count, speed-up over Monte Carlo) plus the convergence traces the figures
+plot.  The benchmark modules in ``benchmarks/`` call this harness with the
+scaled problem configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import relative_error, speedup
+from repro.baselines import ACS, AIS, HSCS, LRTA, MNIS, ASDK, MonteCarlo
+from repro.core.estimator import EstimationResult, YieldEstimator
+from repro.core.optimis import Optimis, OptimisConfig
+from repro.problems.base import YieldProblem
+from repro.utils.rng import SeedLike, split_seed
+
+
+@dataclass
+class ComparisonRow:
+    """One method's entry in a Table-I-style comparison."""
+
+    method: str
+    failure_probability: float
+    relative_error: Optional[float]
+    n_simulations: int
+    speedup: Optional[float]
+    converged: bool
+    result: EstimationResult
+
+
+@dataclass
+class ComparisonTable:
+    """All rows of a comparison on one problem."""
+
+    problem: str
+    reference: Optional[float]
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    def row(self, method: str) -> ComparisonRow:
+        for entry in self.rows:
+            if entry.method == method:
+                return entry
+        raise KeyError(f"no row for method {method!r}")
+
+    @property
+    def methods(self) -> List[str]:
+        return [entry.method for entry in self.rows]
+
+    def best_method(self) -> str:
+        """Method with the lowest relative error among converged rows."""
+        candidates = [r for r in self.rows if r.relative_error is not None]
+        if not candidates:
+            raise ValueError("no rows with a relative error")
+        return min(candidates, key=lambda r: r.relative_error).method
+
+
+def default_estimators(
+    dimension: int,
+    fom_target: float = 0.1,
+    max_simulations: int = 200_000,
+    mc_max_simulations: int = 2_000_000,
+) -> Dict[str, YieldEstimator]:
+    """The paper's method roster with dimension-appropriate settings."""
+    return {
+        "MC": MonteCarlo(fom_target=fom_target, max_simulations=mc_max_simulations),
+        "MNIS": MNIS(fom_target=fom_target, max_simulations=max_simulations),
+        "HSCS": HSCS(fom_target=fom_target, max_simulations=max_simulations),
+        "AIS": AIS(fom_target=fom_target, max_simulations=max_simulations),
+        "ACS": ACS(fom_target=fom_target, max_simulations=max_simulations),
+        "LRTA": LRTA(fom_target=fom_target, max_simulations=max_simulations),
+        "ASDK": ASDK(fom_target=fom_target, max_simulations=max_simulations),
+        "OPTIMIS": Optimis(
+            fom_target=fom_target,
+            max_simulations=max_simulations,
+            config=OptimisConfig.for_dimension(dimension),
+        ),
+    }
+
+
+def run_comparison(
+    problem_factory: Callable[[], YieldProblem],
+    estimators: Dict[str, YieldEstimator],
+    seed: SeedLike = 0,
+    reference: Optional[float] = None,
+    mc_method: str = "MC",
+) -> ComparisonTable:
+    """Run every estimator on a fresh problem instance and tabulate results.
+
+    Parameters
+    ----------
+    problem_factory:
+        Zero-argument callable returning a *fresh* problem (so each method
+        gets an independent simulation counter).
+    estimators:
+        Mapping from display name to estimator instance.
+    reference:
+        Ground-truth failure probability; when ``None``, the problem's own
+        ``true_failure_probability`` is used, and failing that the Monte
+        Carlo row's estimate.
+    mc_method:
+        Name of the Monte-Carlo row used for speed-up normalisation (methods
+        are still compared when it is absent — speed-ups are then omitted).
+    """
+    seeds = split_seed(seed, len(estimators))
+    results: Dict[str, EstimationResult] = {}
+    problem_name = ""
+    problem_reference = reference
+
+    for (name, estimator), method_seed in zip(estimators.items(), seeds):
+        problem = problem_factory()
+        problem_name = problem.name
+        if problem_reference is None and problem.true_failure_probability is not None:
+            problem_reference = problem.true_failure_probability
+        results[name] = estimator.estimate(problem, seed=method_seed)
+
+    if problem_reference is None and mc_method in results:
+        problem_reference = results[mc_method].failure_probability
+
+    mc_simulations = results[mc_method].n_simulations if mc_method in results else None
+
+    table = ComparisonTable(problem=problem_name, reference=problem_reference)
+    for name, result in results.items():
+        error = None
+        if problem_reference is not None and result.failure_probability > 0:
+            error = relative_error(result.failure_probability, problem_reference)
+        gain = None
+        if mc_simulations is not None:
+            gain = speedup(result.n_simulations, mc_simulations)
+        table.rows.append(
+            ComparisonRow(
+                method=name,
+                failure_probability=result.failure_probability,
+                relative_error=error,
+                n_simulations=result.n_simulations,
+                speedup=gain,
+                converged=result.converged,
+                result=result,
+            )
+        )
+    return table

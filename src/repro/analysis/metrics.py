@@ -1,0 +1,65 @@
+"""Scalar metrics used by every table of the evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.estimator import EstimationResult
+from repro.utils.validation import check_positive
+
+# A run whose relative error exceeds this value counts as a failed run in the
+# robustness study (Table III uses the same 50% criterion).
+FAILURE_RELATIVE_ERROR = 0.5
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """``|estimate - reference| / reference``."""
+    check_positive(reference, "reference")
+    return abs(estimate - reference) / reference
+
+
+def speedup(n_simulations: int, n_simulations_reference: int) -> float:
+    """Simulation-count speed-up of a method relative to a reference run."""
+    if n_simulations <= 0:
+        raise ValueError("n_simulations must be positive")
+    return n_simulations_reference / n_simulations
+
+
+def failure_run(estimate: float, reference: float,
+                threshold: float = FAILURE_RELATIVE_ERROR) -> bool:
+    """Whether a run counts as failed (relative error above the threshold)."""
+    if estimate <= 0:
+        return True
+    return relative_error(estimate, reference) > threshold
+
+
+def summarise_runs(
+    results: Sequence[EstimationResult],
+    reference: float,
+    mc_simulations: int,
+) -> Dict[str, float]:
+    """Aggregate repeated runs of one method (Table III row).
+
+    Returns the average relative error and speed-up over the *successful*
+    runs plus the failed-run count, mirroring the paper's robustness table.
+    """
+    if not results:
+        raise ValueError("results must not be empty")
+    check_positive(reference, "reference")
+    errors = []
+    speedups = []
+    n_failed = 0
+    for result in results:
+        if failure_run(result.failure_probability, reference):
+            n_failed += 1
+            continue
+        errors.append(relative_error(result.failure_probability, reference))
+        speedups.append(speedup(result.n_simulations, mc_simulations))
+    return {
+        "n_runs": float(len(results)),
+        "n_failed": float(n_failed),
+        "average_relative_error": float(np.mean(errors)) if errors else float("nan"),
+        "average_speedup": float(np.mean(speedups)) if speedups else float("nan"),
+    }

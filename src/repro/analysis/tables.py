@@ -1,0 +1,77 @@
+"""Plain-text table formatting mirroring the paper's Tables I–III."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.experiment import ComparisonTable
+from repro.analysis.robustness import RobustnessSummary
+
+
+def _format_value(value, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (0 < abs(value) < 1e-2):
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(table: ComparisonTable) -> str:
+    """Format a comparison as a Table-I-style text block."""
+    headers = ["Method", "Fail. prob.", "Rel. error", "# of sim.", "Speedup", "Converged"]
+    rows = []
+    for row in table.rows:
+        rows.append(
+            [
+                row.method,
+                _format_value(row.failure_probability),
+                _format_value(None if row.relative_error is None else row.relative_error * 100.0)
+                + ("%" if row.relative_error is not None else ""),
+                str(row.n_simulations),
+                (_format_value(row.speedup) + "x") if row.speedup is not None else "-",
+                _format_value(row.converged),
+            ]
+        )
+    title = f"Problem: {table.problem}"
+    if table.reference is not None:
+        title += f"   (reference Pf = {table.reference:.3e})"
+    return _render(title, headers, rows)
+
+
+def format_robustness_table(summaries: Dict[str, RobustnessSummary]) -> str:
+    """Format a robustness study as a Table-III-style text block."""
+    headers = ["Method", "Avg. RE", "Avg. speedup", "# Fail"]
+    rows = []
+    for name, summary in summaries.items():
+        rows.append(
+            [
+                name,
+                _format_value(summary.average_relative_error * 100.0) + "%"
+                if summary.average_relative_error == summary.average_relative_error
+                else "-",
+                _format_value(summary.average_speedup) + "x"
+                if summary.average_speedup == summary.average_speedup
+                else "-",
+                summary.failure_ratio,
+            ]
+        )
+    return _render("Robustness study", headers, rows)
+
+
+def _render(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""A small reverse-mode automatic differentiation engine on numpy arrays.
+
+The paper trains its Neural Spline Flow and MLP surrogates with PyTorch; this
+offline reproduction cannot install PyTorch, so the flows and networks in
+:mod:`repro.flows` / :mod:`repro.nn` are built on this engine instead.
+
+Design:
+
+* :class:`~repro.autodiff.tensor.Tensor` wraps a ``numpy.ndarray`` and a flag
+  ``requires_grad``.  Every differentiable operation records a node holding
+  references to its parent tensors and a closure that propagates the output
+  gradient back to them.
+* Gradients are accumulated by a topological-order traversal starting from
+  the tensor on which :meth:`Tensor.backward` is called (typically a scalar
+  loss).
+* Broadcasting follows numpy semantics; backward passes sum gradients over
+  broadcast dimensions so shapes always line up with the leaf parameters.
+
+The engine deliberately implements only what the library needs: dense
+arithmetic, matmul, reductions, indexing/concatenation, and the standard
+neural-network non-linearities.  :mod:`repro.autodiff.grad_check` provides a
+finite-difference checker used extensively by the test-suite.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.autodiff.functional import (
+    concatenate,
+    stack,
+    where,
+    softmax,
+    log_softmax,
+    logsumexp,
+    softplus,
+    sigmoid,
+    tanh,
+    relu,
+)
+from repro.autodiff.grad_check import gradient_check, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "concatenate",
+    "stack",
+    "where",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "softplus",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "gradient_check",
+    "numerical_gradient",
+]

@@ -1,0 +1,105 @@
+"""Functional operations composed from :class:`~repro.autodiff.tensor.Tensor`.
+
+These cover the graph-building helpers that are awkward to express as tensor
+methods (multi-input concatenation/stacking, masked selection) plus the
+numerically-stable softmax family used by the spline-flow conditioners.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+TensorLike = Union[Tensor, np.ndarray, float, int]
+
+
+def _ensure(value: TensorLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concatenate(tensors: Sequence[TensorLike], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each."""
+    tensors = [_ensure(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    split_points = np.cumsum(sizes)[:-1]
+
+    def backward(grad: np.ndarray):
+        return tuple(np.split(np.asarray(grad), split_points, axis=axis))
+
+    return Tensor._from_op(data, tuple(tensors), backward, "concatenate")
+
+
+def stack(tensors: Sequence[TensorLike], axis: int = 0) -> Tensor:
+    """Stack equally-shaped tensors along a new axis."""
+    tensors = [_ensure(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray):
+        grad = np.asarray(grad)
+        slices = np.split(grad, grad.shape[axis], axis=axis)
+        return tuple(np.squeeze(s, axis=axis) for s in slices)
+
+    return Tensor._from_op(data, tuple(tensors), backward, "stack")
+
+
+def where(condition: np.ndarray, a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise select ``a`` where ``condition`` else ``b``.
+
+    ``condition`` is a boolean array (not differentiated).
+    """
+    condition = np.asarray(condition, dtype=bool)
+    a, b = _ensure(a), _ensure(b)
+    data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        grad = np.asarray(grad)
+        return grad * condition, grad * (~condition)
+
+    return Tensor._from_op(data, (a, b), backward, "where")
+
+
+def relu(x: TensorLike) -> Tensor:
+    return _ensure(x).relu()
+
+
+def tanh(x: TensorLike) -> Tensor:
+    return _ensure(x).tanh()
+
+
+def sigmoid(x: TensorLike) -> Tensor:
+    return _ensure(x).sigmoid()
+
+
+def softplus(x: TensorLike) -> Tensor:
+    return _ensure(x).softplus()
+
+
+def logsumexp(x: TensorLike, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = _ensure(x)
+    shift = Tensor(np.max(x.data, axis=axis, keepdims=True))
+    shifted = x - shift
+    out = shifted.exp().sum(axis=axis, keepdims=True).log() + shift
+    if not keepdims:
+        out = out.reshape(tuple(np.delete(np.array(out.shape), axis)))
+    return out
+
+
+def softmax(x: TensorLike, axis: int = -1) -> Tensor:
+    """Stable softmax along ``axis``."""
+    x = _ensure(x)
+    shift = Tensor(np.max(x.data, axis=axis, keepdims=True))
+    exp = (x - shift).exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: TensorLike, axis: int = -1) -> Tensor:
+    """Stable ``log(softmax(x))`` along ``axis``."""
+    x = _ensure(x)
+    shift = Tensor(np.max(x.data, axis=axis, keepdims=True))
+    shifted = x - shift
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()

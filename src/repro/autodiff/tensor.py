@@ -1,0 +1,493 @@
+"""The :class:`Tensor` class: a numpy array with reverse-mode gradients."""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside a ``no_grad()`` block every operation produces plain constant
+    tensors, which makes sampling from a trained flow (millions of points)
+    as cheap as raw numpy.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    """Return whether graph construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over the axes that were broadcast to reach ``grad.shape``.
+
+    numpy broadcasting may (a) prepend dimensions and (b) stretch size-1
+    dimensions.  The adjoint of broadcasting is summation over exactly those
+    axes, which restores the gradient to the original parameter ``shape``.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64``.
+    requires_grad:
+        When ``True`` the tensor is a graph leaf whose ``grad`` attribute is
+        populated by :meth:`backward`.
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_backward", "_op")
+
+    __array_priority__ = 100  # make numpy defer to our __r*__ operators
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._op: str = "leaf"
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = cls(data)
+        out.requires_grad = requires
+        if requires:
+            out._parents = parents
+            out._backward = backward
+            out._op = op
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a constant copy that is cut off from the graph."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tensor(shape={self.shape}, op={self._op}, requires_grad={self.requires_grad})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Backward pass
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor to every reachable leaf.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to 1 for scalars (the usual ``loss.backward()`` case).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        # Topological order over the graph reachable from self.
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        # Seed and propagate in reverse topological order.
+        grads = {id(self): grad}
+        self._accumulate(grad)
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward is None:
+                continue
+            contributions = node._backward(node_grad)
+            for parent, contribution in zip(node._parents, contributions):
+                if not parent.requires_grad or contribution is None:
+                    continue
+                contribution = _unbroadcast(
+                    np.asarray(contribution, dtype=np.float64), parent.data.shape
+                )
+                if id(parent) in grads:
+                    grads[id(parent)] = grads[id(parent)] + contribution
+                else:
+                    grads[id(parent)] = contribution
+                parent._accumulate(contribution)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._ensure(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray):
+            return grad, grad
+
+        return Tensor._from_op(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._from_op(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._ensure(other)
+        data = self.data - other.data
+
+        def backward(grad: np.ndarray):
+            return grad, -grad
+
+        return Tensor._from_op(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return Tensor._ensure(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._ensure(other)
+        data = self.data * other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            return grad * b_data, grad * a_data
+
+        return Tensor._from_op(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._ensure(other)
+        data = self.data / other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            return grad / b_data, -grad * a_data / (b_data**2)
+
+        return Tensor._from_op(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return Tensor._ensure(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        exponent = float(exponent)
+        data = self.data**exponent
+        base = self.data
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * base ** (exponent - 1.0),)
+
+        return Tensor._from_op(data, (self,), backward, "pow")
+
+    def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = Tensor._ensure(other)
+        data = self.data @ other.data
+        a_data, b_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            grad_a = grad @ np.swapaxes(b_data, -1, -2)
+            grad_b = np.swapaxes(a_data, -1, -2) @ grad
+            return grad_a, grad_b
+
+        return Tensor._from_op(data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------ #
+    # Elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * data,)
+
+        return Tensor._from_op(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+        source = self.data
+
+        def backward(grad: np.ndarray):
+            return (grad / source,)
+
+        return Tensor._from_op(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * sign,)
+
+        return Tensor._from_op(data, (self,), backward, "abs")
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - data**2),)
+
+        return Tensor._from_op(data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function.
+        data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+            np.exp(np.clip(self.data, -500, 500))
+            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+        )
+
+        def backward(grad: np.ndarray):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._from_op(data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        data = np.where(mask, self.data, 0.0)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._from_op(data, (self,), backward, "relu")
+
+    def softplus(self) -> "Tensor":
+        # log(1 + exp(x)) computed stably as max(x, 0) + log1p(exp(-|x|)).
+        data = np.maximum(self.data, 0.0) + np.log1p(np.exp(-np.abs(self.data)))
+        source = self.data
+
+        def backward(grad: np.ndarray):
+            sig = np.where(
+                source >= 0,
+                1.0 / (1.0 + np.exp(-np.clip(source, -500, 500))),
+                np.exp(np.clip(source, -500, 500))
+                / (1.0 + np.exp(np.clip(source, -500, 500))),
+            )
+            return (grad * sig,)
+
+        return Tensor._from_op(data, (self,), backward, "softplus")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside."""
+        data = np.clip(self.data, low, high)
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._from_op(data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        in_shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                return (np.broadcast_to(g, in_shape).copy(),)
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            if not keepdims:
+                for ax in sorted(a % len(in_shape) for a in axes):
+                    g = np.expand_dims(g, ax)
+            return (np.broadcast_to(g, in_shape).copy(),)
+
+        return Tensor._from_op(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        in_shape = self.data.shape
+        source = self.data
+
+        def backward(grad: np.ndarray):
+            g = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                expanded = np.broadcast_to(data, in_shape)
+                g_full = np.broadcast_to(g, in_shape)
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                d = data
+                gg = g
+                if not keepdims:
+                    for ax in sorted(a % len(in_shape) for a in axes):
+                        d = np.expand_dims(d, ax)
+                        gg = np.expand_dims(gg, ax)
+                expanded = np.broadcast_to(d, in_shape)
+                g_full = np.broadcast_to(gg, in_shape)
+            mask = source == expanded
+            # Distribute gradient equally among ties.
+            if axis is None:
+                counts = mask.sum()
+            else:
+                counts = mask.sum(axis=axis, keepdims=True)
+            return (g_full * mask / counts,)
+
+        return Tensor._from_op(data, (self,), backward, "max")
+
+    # ------------------------------------------------------------------ #
+    # Shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        in_shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            return (np.asarray(grad).reshape(in_shape),)
+
+        return Tensor._from_op(data, (self,), backward, "reshape")
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        data = np.transpose(self.data, axes)
+        if axes is None:
+            inverse = None
+        else:
+            inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray):
+            return (np.transpose(np.asarray(grad), inverse),)
+
+        return Tensor._from_op(data, (self,), backward, "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        in_shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(in_shape, dtype=np.float64)
+            np.add.at(full, index, np.asarray(grad, dtype=np.float64))
+            return (full,)
+
+        return Tensor._from_op(data, (self,), backward, "getitem")
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (produce constant tensors/arrays, no gradient)
+    # ------------------------------------------------------------------ #
+    def __gt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+    def __ge__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data >= other
+
+    def __le__(self, other) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data <= other

@@ -1,0 +1,165 @@
+"""Adaptive Clustering and Sampling (ACS).
+
+Shi, Yan, Wang, Xu, Liu, Shi and He (ISPD 2019) target high-dimensional,
+multi-failure-region problems by combining the two earlier ideas: failure
+points are clustered by direction into *cones* (multi-cone clustering) and a
+mixture of shifted Gaussians — one per cone — is adapted sequentially from
+the importance-weighted failure samples, re-clustering as new failure regions
+are discovered.
+
+``presampler="onion"`` gives the ACS+ variant of the paper's Table II
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.hscs import spherical_kmeans
+from repro.baselines.presampling import find_failure_samples
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.core.importance import ImportanceAccumulator, importance_weights
+from repro.distributions.mixture import GaussianMixture
+from repro.distributions.normal import standard_normal_logpdf
+from repro.problems.base import YieldProblem
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer
+
+
+class ACS(YieldEstimator):
+    """Adaptive multi-cone clustering and mixture importance sampling."""
+
+    name = "ACS"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 500_000,
+        batch_size: int = 1000,
+        n_clusters: int = 4,
+        presample_target: int = 40,
+        presample_budget: int = 5000,
+        presampler: str = "scaled_sigma",
+        recluster_every: int = 3,
+        proposal_std: float = 1.0,
+        min_std: float = 0.3,
+        max_std: float = 3.0,
+    ):
+        super().__init__(
+            fom_target=fom_target, max_simulations=max_simulations, batch_size=batch_size
+        )
+        self.n_clusters = check_integer(n_clusters, "n_clusters", minimum=1)
+        self.presample_target = check_integer(presample_target, "presample_target", minimum=1)
+        self.presample_budget = check_integer(presample_budget, "presample_budget", minimum=1)
+        if presampler not in ("scaled_sigma", "onion"):
+            raise ValueError(f"unknown presampler {presampler!r}")
+        self.presampler = presampler
+        self.recluster_every = check_integer(recluster_every, "recluster_every", minimum=1)
+        self.proposal_std = proposal_std
+        self.min_std = min_std
+        self.max_std = max_std
+
+    @property
+    def display_name(self) -> str:
+        """``ACS`` or ``ACS+`` depending on the pre-sampling stage."""
+        return f"{self.name}+" if self.presampler == "onion" else self.name
+
+    # ------------------------------------------------------------------ #
+    def _build_proposal(
+        self,
+        failure_samples: np.ndarray,
+        failure_weights: Optional[np.ndarray],
+        rng: np.random.Generator,
+    ) -> GaussianMixture:
+        """Weighted multi-cone mixture from the current failure archive."""
+        n = failure_samples.shape[0]
+        if failure_weights is None or failure_weights.sum() <= 0:
+            failure_weights = np.ones(n)
+        labels, _ = spherical_kmeans(failure_samples, min(self.n_clusters, n), rng)
+        means = []
+        stds = []
+        weights = []
+        for j in np.unique(labels):
+            members = failure_samples[labels == j]
+            member_weights = failure_weights[labels == j]
+            total = member_weights.sum()
+            if total <= 0:
+                member_weights = np.ones(members.shape[0])
+                total = member_weights.sum()
+            normalised = member_weights / total
+            mean = normalised @ members
+            if members.shape[0] > 1:
+                spread = np.sqrt(normalised @ (members - mean) ** 2)
+                spread = np.clip(spread, self.min_std, self.max_std)
+                stds.append(spread)
+            else:
+                stds.append(np.full(members.shape[1], self.proposal_std))
+            means.append(mean)
+            weights.append(total)
+        return GaussianMixture(
+            np.vstack(means), stds=np.vstack(stds), weights=np.asarray(weights, dtype=float)
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        trace = ConvergenceTrace()
+        presample = find_failure_samples(
+            problem,
+            self.presample_target,
+            rng,
+            method=self.presampler,
+            max_simulations=min(self.presample_budget, self.max_simulations),
+        )
+        if presample.n_failures == 0:
+            return self._make_result(
+                problem, 0.0, np.inf, trace, converged=False, presample_failures=0
+            )
+        rng_cluster = as_generator(rng)
+        failure_samples = presample.failure_samples
+        # Weight the pre-sampled failure points by their prior density so the
+        # initial cone centroids sit on the high-probability side of each
+        # failure region rather than at the inflated-sigma sampling radius.
+        initial_log_p = standard_normal_logpdf(failure_samples)
+        failure_weights = np.exp(initial_log_p - initial_log_p.max())
+        proposal = self._build_proposal(failure_samples, failure_weights, rng_cluster)
+
+        accumulator = ImportanceAccumulator()
+        converged = False
+        round_index = 0
+        while problem.simulation_count < self.max_simulations:
+            remaining = self.max_simulations - problem.simulation_count
+            batch = min(self.batch_size, remaining)
+            if batch < 2:
+                break
+            x = proposal.sample(batch, seed=rng)
+            indicators = problem.indicator(x)
+            weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+            accumulator.update(indicators, weights)
+
+            mask = indicators.astype(bool)
+            if np.any(mask):
+                failure_samples = np.concatenate([failure_samples, x[mask]], axis=0)
+                failure_weights = np.concatenate([failure_weights, weights[mask]])
+
+            pf, fom = accumulator.snapshot()
+            trace.record(problem.simulation_count, pf, fom)
+            round_index += 1
+            if np.isfinite(fom) and fom <= self.fom_target and pf > 0:
+                converged = True
+                break
+            if round_index % self.recluster_every == 0:
+                proposal = self._build_proposal(failure_samples, failure_weights, rng_cluster)
+
+        pf, fom = accumulator.snapshot()
+        return self._make_result(
+            problem,
+            pf,
+            fom,
+            trace,
+            converged,
+            presample_failures=presample.n_failures,
+            presampler=self.presampler,
+            n_clusters=proposal.n_components,
+        )

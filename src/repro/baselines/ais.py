@@ -1,0 +1,163 @@
+"""Adaptive Importance Sampling (AIS).
+
+Shi, Liu, Yang and He (DAC 2018) keep the shifted-Gaussian proposal family of
+norm minimisation but *adapt* it as samples accumulate: after every round the
+proposal mean (and, optionally, its per-dimension spread) is re-estimated
+from the importance-weighted failure samples seen so far — a cross-entropy /
+population-Monte-Carlo style update.  Because each round's samples are
+weighted against the proposal they were actually drawn from, the combined
+estimator stays unbiased while the proposal homes in on the failure
+distribution.
+
+``presampler="onion"`` reproduces the AIS+ variant of the paper's Table II
+ablation, where the initial failure points come from onion sampling instead
+of inflated-sigma sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.presampling import (
+    find_failure_samples,
+    minimum_norm_failure_point,
+    stochastic_norm_minimisation,
+)
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.core.importance import ImportanceAccumulator, importance_weights
+from repro.distributions.normal import MultivariateNormal, standard_normal_logpdf
+from repro.problems.base import YieldProblem
+from repro.utils.validation import check_integer, check_positive
+
+
+class AIS(YieldEstimator):
+    """Adaptive importance sampling with a single shifted-Gaussian proposal."""
+
+    name = "AIS"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 500_000,
+        batch_size: int = 1000,
+        presample_target: int = 30,
+        presample_budget: int = 5000,
+        presampler: str = "scaled_sigma",
+        adapt_std: bool = True,
+        smoothing: float = 0.5,
+        min_std: float = 0.3,
+        max_std: float = 3.0,
+    ):
+        super().__init__(
+            fom_target=fom_target, max_simulations=max_simulations, batch_size=batch_size
+        )
+        self.presample_target = check_integer(presample_target, "presample_target", minimum=1)
+        self.presample_budget = check_integer(presample_budget, "presample_budget", minimum=1)
+        if presampler not in ("scaled_sigma", "onion"):
+            raise ValueError(f"unknown presampler {presampler!r}")
+        self.presampler = presampler
+        self.adapt_std = bool(adapt_std)
+        self.smoothing = check_positive(smoothing, "smoothing")
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must lie in (0, 1]")
+        self.min_std = min_std
+        self.max_std = max_std
+
+    @property
+    def display_name(self) -> str:
+        """``AIS`` or ``AIS+`` depending on the pre-sampling stage."""
+        return f"{self.name}+" if self.presampler == "onion" else self.name
+
+    # ------------------------------------------------------------------ #
+    def _initial_proposal(
+        self, problem: YieldProblem, rng: np.random.Generator
+    ) -> Optional[MultivariateNormal]:
+        presample = find_failure_samples(
+            problem,
+            self.presample_target,
+            rng,
+            method=self.presampler,
+            max_simulations=min(self.presample_budget, self.max_simulations),
+        )
+        self._presample_failures = presample.n_failures
+        if presample.n_failures == 0:
+            return None
+        mean = minimum_norm_failure_point(presample.failure_samples)
+        # A short norm-minimisation search removes the worst lateral
+        # components of the starting shift; the cross-entropy updates take it
+        # from there.
+        mean = stochastic_norm_minimisation(
+            problem, mean, rng=rng, n_iterations=200,
+            max_simulations=max(self.max_simulations - problem.simulation_count, 0),
+        )
+        return MultivariateNormal(mean, 1.0)
+
+    def _update_proposal(
+        self,
+        proposal: MultivariateNormal,
+        failure_samples: np.ndarray,
+        failure_weights: np.ndarray,
+    ) -> MultivariateNormal:
+        """Cross-entropy update of the proposal from weighted failure points."""
+        total = failure_weights.sum()
+        if total <= 0 or failure_samples.shape[0] == 0:
+            return proposal
+        normalised = failure_weights / total
+        target_mean = normalised @ failure_samples
+        new_mean = (1 - self.smoothing) * proposal.mean + self.smoothing * target_mean
+        if self.adapt_std and failure_samples.shape[0] > 1:
+            spread = np.sqrt(normalised @ (failure_samples - target_mean) ** 2)
+            spread = np.clip(spread, self.min_std, self.max_std)
+            new_std = (1 - self.smoothing) * proposal.std + self.smoothing * spread
+        else:
+            new_std = proposal.std
+        return MultivariateNormal(new_mean, new_std)
+
+    # ------------------------------------------------------------------ #
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        trace = ConvergenceTrace()
+        self._presample_failures = 0
+        proposal = self._initial_proposal(problem, rng)
+        if proposal is None:
+            return self._make_result(
+                problem, 0.0, np.inf, trace, converged=False, presample_failures=0
+            )
+
+        accumulator = ImportanceAccumulator()
+        failure_samples = np.empty((0, problem.dimension))
+        failure_weights = np.empty(0)
+        converged = False
+        while problem.simulation_count < self.max_simulations:
+            remaining = self.max_simulations - problem.simulation_count
+            batch = min(self.batch_size, remaining)
+            if batch < 2:
+                break
+            x = proposal.sample(batch, seed=rng)
+            indicators = problem.indicator(x)
+            weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+            accumulator.update(indicators, weights)
+
+            mask = indicators.astype(bool)
+            if np.any(mask):
+                failure_samples = np.concatenate([failure_samples, x[mask]], axis=0)
+                failure_weights = np.concatenate([failure_weights, weights[mask]])
+
+            pf, fom = accumulator.snapshot()
+            trace.record(problem.simulation_count, pf, fom)
+            if np.isfinite(fom) and fom <= self.fom_target and pf > 0:
+                converged = True
+                break
+            proposal = self._update_proposal(proposal, failure_samples, failure_weights)
+
+        pf, fom = accumulator.snapshot()
+        return self._make_result(
+            problem,
+            pf,
+            fom,
+            trace,
+            converged,
+            presample_failures=self._presample_failures,
+            presampler=self.presampler,
+        )

@@ -1,0 +1,152 @@
+"""Hyperspherical Clustering and Sampling (HSCS).
+
+Wu, Bodapati and He (ISPD 2016) extend norm minimisation to multiple failure
+regions: the failure points discovered during pre-sampling are clustered *by
+direction* on the unit hypersphere (spherical k-means with cosine
+similarity), each cluster contributes a mean-shifted Gaussian centred at its
+minimum-norm member, and importance sampling draws from the resulting
+mixture with weights proportional to the cluster populations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.presampling import (
+    find_failure_samples,
+    minimum_norm_failure_point,
+    refine_toward_origin,
+)
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.core.importance import ImportanceAccumulator, importance_weights
+from repro.distributions.mixture import GaussianMixture
+from repro.distributions.normal import standard_normal_logpdf
+from repro.problems.base import YieldProblem
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_integer
+
+
+def spherical_kmeans(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator, n_iterations: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster unit directions by cosine similarity.
+
+    Returns ``(labels, centroids)`` where centroids are unit vectors.  Empty
+    clusters are re-seeded at the point currently farthest (in angle) from
+    its assigned centroid, which keeps the number of clusters honest when the
+    failure directions are fewer than requested.
+    """
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (n, D) array")
+    n_clusters = check_integer(n_clusters, "n_clusters", minimum=1)
+    n_clusters = min(n_clusters, points.shape[0])
+    norms = np.linalg.norm(points, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    directions = points / norms
+
+    seed_idx = rng.choice(points.shape[0], size=n_clusters, replace=False)
+    centroids = directions[seed_idx].copy()
+    labels = np.zeros(points.shape[0], dtype=int)
+    for _ in range(n_iterations):
+        similarity = directions @ centroids.T
+        new_labels = np.argmax(similarity, axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for j in range(n_clusters):
+            members = directions[labels == j]
+            if members.shape[0] == 0:
+                worst = int(np.argmin(np.max(similarity, axis=1)))
+                centroids[j] = directions[worst]
+                continue
+            mean_dir = members.mean(axis=0)
+            norm = np.linalg.norm(mean_dir)
+            centroids[j] = mean_dir / norm if norm > 0 else members[0]
+    return labels, centroids
+
+
+class HSCS(YieldEstimator):
+    """Hyperspherical clustering and (mixture) importance sampling."""
+
+    name = "HSCS"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 500_000,
+        batch_size: int = 1000,
+        n_clusters: int = 4,
+        presample_target: int = 40,
+        presample_budget: int = 6000,
+        proposal_std: float = 1.0,
+    ):
+        super().__init__(
+            fom_target=fom_target, max_simulations=max_simulations, batch_size=batch_size
+        )
+        self.n_clusters = check_integer(n_clusters, "n_clusters", minimum=1)
+        self.presample_target = check_integer(presample_target, "presample_target", minimum=1)
+        self.presample_budget = check_integer(presample_budget, "presample_budget", minimum=1)
+        self.proposal_std = proposal_std
+
+    def _build_proposal(
+        self, problem: YieldProblem, failure_samples: np.ndarray, rng: np.random.Generator
+    ) -> GaussianMixture:
+        """Mixture of shifted Gaussians, one per hyperspherical cluster."""
+        labels, _ = spherical_kmeans(failure_samples, self.n_clusters, rng)
+        means = []
+        weights = []
+        for j in np.unique(labels):
+            members = failure_samples[labels == j]
+            centre = minimum_norm_failure_point(members)
+            # Pull each cluster centre back to the failure boundary along its
+            # ray so the shifted component sits where the failure mass is.
+            centre = refine_toward_origin(problem, centre, n_bisections=10)
+            means.append(centre)
+            weights.append(members.shape[0])
+        return GaussianMixture(
+            np.vstack(means), stds=self.proposal_std, weights=np.asarray(weights, dtype=float)
+        )
+
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        trace = ConvergenceTrace()
+        presample = find_failure_samples(
+            problem,
+            self.presample_target,
+            rng,
+            max_simulations=min(self.presample_budget, self.max_simulations),
+        )
+        if presample.n_failures == 0:
+            return self._make_result(
+                problem, 0.0, np.inf, trace, converged=False, presample_failures=0
+            )
+        proposal = self._build_proposal(problem, presample.failure_samples, as_generator(rng))
+
+        accumulator = ImportanceAccumulator()
+        converged = False
+        while problem.simulation_count < self.max_simulations:
+            remaining = self.max_simulations - problem.simulation_count
+            batch = min(self.batch_size, remaining)
+            if batch < 2:
+                break
+            x = proposal.sample(batch, seed=rng)
+            indicators = problem.indicator(x)
+            weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+            accumulator.update(indicators, weights)
+            pf, fom = accumulator.snapshot()
+            trace.record(problem.simulation_count, pf, fom)
+            if np.isfinite(fom) and fom <= self.fom_target and pf > 0:
+                converged = True
+                break
+
+        pf, fom = accumulator.snapshot()
+        return self._make_result(
+            problem,
+            pf,
+            fom,
+            trace,
+            converged,
+            presample_failures=presample.n_failures,
+            n_clusters=proposal.n_components,
+        )

@@ -1,0 +1,243 @@
+"""Low-Rank Tensor Approximation (LRTA) surrogate yield estimation.
+
+Shi, Yan, Huang, Zhang, Shi and He (DAC 2019) approximate the performance
+function with a polynomial-chaos expansion compressed into a low-rank
+(canonical/CP) tensor format
+
+    g(x) ≈ Σ_r  λ_r  Π_d  φ_{r,d}(x_d),
+    φ_{r,d}(x_d) = Σ_p  c_{r,d,p}  He_p(x_d),
+
+where ``He_p`` are probabilists' Hermite polynomials (orthogonal under the
+standard-normal prior).  The factors are fitted by greedy rank-one updates
+with alternating least squares (ALS), which keeps the number of free
+coefficients linear in the dimension — the property that lets PCE reach
+hundreds of dimensions at all.
+
+The failure probability is then estimated by evaluating the surrogate on a
+large Monte-Carlo population (no additional SPICE cost); active-learning
+rounds add real simulations near the predicted failure boundary and refit.
+As the paper's robustness study shows, this family is fast but can converge
+to a wrong surrogate — behaviour that emerges here as well when the training
+budget is small relative to the dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.core.importance import monte_carlo_fom
+from repro.problems.base import YieldProblem
+from repro.utils.validation import check_integer, check_positive
+
+
+def hermite_design(x: np.ndarray, degree: int) -> np.ndarray:
+    """Probabilists' Hermite design matrix ``He_0..He_degree`` of a vector.
+
+    Shape ``(n, degree + 1)``; uses the recurrence
+    ``He_{p+1}(x) = x He_p(x) - p He_{p-1}(x)``.
+    """
+    x = np.asarray(x, dtype=float)
+    columns = [np.ones_like(x), x]
+    for p in range(1, degree):
+        columns.append(x * columns[p] - p * columns[p - 1])
+    return np.stack(columns[: degree + 1], axis=1)
+
+
+@dataclass
+class RankOneTerm:
+    """One rank-one factor of the CP decomposition."""
+
+    coefficients: np.ndarray  # (D, degree + 1)
+
+    def evaluate(self, x: np.ndarray, degree: int) -> np.ndarray:
+        """Product over dimensions of the per-dimension polynomials."""
+        n, d = x.shape
+        result = np.ones(n)
+        for dim in range(d):
+            design = hermite_design(x[:, dim], degree)
+            result = result * (design @ self.coefficients[dim])
+        return result
+
+
+class LowRankTensorSurrogate:
+    """Greedy rank-one ALS fit of a Hermite polynomial-chaos surrogate."""
+
+    def __init__(self, rank: int = 3, degree: int = 2, als_sweeps: int = 4,
+                 regularisation: float = 1e-6):
+        self.rank = check_integer(rank, "rank", minimum=1)
+        self.degree = check_integer(degree, "degree", minimum=1)
+        self.als_sweeps = check_integer(als_sweeps, "als_sweeps", minimum=1)
+        self.regularisation = check_positive(regularisation, "regularisation")
+        self.terms: List[RankOneTerm] = []
+        self.intercept: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LowRankTensorSurrogate":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2 or y.shape != (x.shape[0],):
+            raise ValueError("x must be (n, D) and y must be (n,)")
+        n, d = x.shape
+        self.intercept = float(np.mean(y))
+        residual = y - self.intercept
+        self.terms = []
+
+        # Pre-compute the per-dimension design matrices once.
+        designs = [hermite_design(x[:, dim], self.degree) for dim in range(d)]
+
+        for _ in range(self.rank):
+            term = self._fit_rank_one(designs, residual, n, d)
+            self.terms.append(term)
+            residual = residual - term.evaluate(x, self.degree)
+        return self
+
+    def _fit_rank_one(
+        self, designs: List[np.ndarray], residual: np.ndarray, n: int, d: int
+    ) -> RankOneTerm:
+        """ALS sweeps for a single rank-one term fitted to the residual."""
+        degree = self.degree
+        coefficients = np.zeros((d, degree + 1))
+        # Start from the best single-dimension linear fit so ALS has signal.
+        coefficients[:, 0] = 1.0
+        start_dim = 0
+        best_corr = -1.0
+        for dim in range(d):
+            corr = abs(np.corrcoef(designs[dim][:, 1], residual)[0, 1]) if n > 1 else 0.0
+            if np.isfinite(corr) and corr > best_corr:
+                best_corr = corr
+                start_dim = dim
+        factors = np.ones((d, n))
+        for sweep in range(self.als_sweeps):
+            order = range(d) if sweep else [start_dim] + [i for i in range(d) if i != start_dim]
+            for dim in order:
+                others = np.prod(np.delete(factors, dim, axis=0), axis=0) if d > 1 else np.ones(n)
+                design = designs[dim] * others[:, None]
+                gram = design.T @ design + self.regularisation * np.eye(degree + 1)
+                coef = np.linalg.solve(gram, design.T @ residual)
+                coefficients[dim] = coef
+                factors[dim] = designs[dim] @ coef
+        return RankOneTerm(coefficients=coefficients)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        prediction = np.full(x.shape[0], self.intercept)
+        for term in self.terms:
+            prediction = prediction + term.evaluate(x, self.degree)
+        return prediction
+
+
+class LRTA(YieldEstimator):
+    """Surrogate-based estimator built on the low-rank PCE model.
+
+    The estimator regresses the *failure margin* ``g(x) = max_k (y_k - t_k) /
+    s_k`` (positive means failure), estimates ``Pf = P(g > 0)`` by evaluating
+    the surrogate on a large prior population, and spends its simulation
+    budget in active-learning rounds that sample near the predicted boundary.
+    """
+
+    name = "LRTA"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 100_000,
+        batch_size: int = 500,
+        initial_samples: int = 2000,
+        rank: int = 3,
+        degree: int = 2,
+        surrogate_population: int = 200_000,
+        exploration_scale: float = 2.5,
+        max_rounds: int = 20,
+        stability_window: int = 3,
+    ):
+        super().__init__(
+            fom_target=fom_target, max_simulations=max_simulations, batch_size=batch_size
+        )
+        self.initial_samples = check_integer(initial_samples, "initial_samples", minimum=10)
+        self.rank = rank
+        self.degree = degree
+        self.surrogate_population = check_integer(
+            surrogate_population, "surrogate_population", minimum=1000
+        )
+        self.exploration_scale = check_positive(exploration_scale, "exploration_scale")
+        self.max_rounds = check_integer(max_rounds, "max_rounds", minimum=1)
+        self.stability_window = check_integer(stability_window, "stability_window", minimum=2)
+
+    # ------------------------------------------------------------------ #
+    def _margin(self, problem: YieldProblem, x: np.ndarray) -> np.ndarray:
+        """Normalised worst-case failure margin (positive = failure)."""
+        metrics = problem.simulate(x)
+        scale = np.abs(problem.thresholds) + 1e-30
+        return np.max((metrics - problem.thresholds[None, :]) / scale[None, :], axis=1)
+
+    def _initial_design(self, problem: YieldProblem, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Half prior samples, half inflated-sigma samples that reach the tails."""
+        n_prior = n // 2
+        n_wide = n - n_prior
+        prior = rng.standard_normal((n_prior, problem.dimension))
+        wide = self.exploration_scale * rng.standard_normal((n_wide, problem.dimension))
+        return np.concatenate([prior, wide], axis=0)
+
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        trace = ConvergenceTrace()
+        budget = min(self.initial_samples, self.max_simulations)
+        x_train = self._initial_design(problem, rng, budget)
+        g_train = self._margin(problem, x_train)
+
+        population = rng.standard_normal((self.surrogate_population, problem.dimension))
+        estimates: List[float] = []
+        converged = False
+        pf, fom = 0.0, np.inf
+        surrogate = LowRankTensorSurrogate(rank=self.rank, degree=self.degree)
+
+        for round_index in range(self.max_rounds):
+            surrogate.fit(x_train, g_train)
+            predicted = surrogate.predict(population)
+            pf = float(np.mean(predicted > 0.0))
+            estimates.append(pf)
+
+            # Figure of merit: spread of the last few surrogate estimates plus
+            # the residual Monte-Carlo error of the surrogate population.
+            window = estimates[-self.stability_window:]
+            if pf > 0 and len(window) >= self.stability_window:
+                spread = float(np.std(window) / pf)
+                fom = max(spread, monte_carlo_fom(pf, self.surrogate_population))
+            else:
+                fom = np.inf
+            trace.record(problem.simulation_count, pf, fom)
+            if np.isfinite(fom) and fom <= self.fom_target and pf > 0:
+                converged = True
+                break
+
+            remaining = self.max_simulations - problem.simulation_count
+            if remaining < 2:
+                break
+            # Active learning: simulate the population points the surrogate
+            # places closest to its failure boundary (plus fresh exploration).
+            batch = min(self.batch_size, remaining)
+            boundary_order = np.argsort(np.abs(predicted))
+            n_boundary = batch // 2
+            boundary_points = population[boundary_order[:n_boundary]]
+            exploration = self.exploration_scale * rng.standard_normal(
+                (batch - n_boundary, problem.dimension)
+            )
+            new_x = np.concatenate([boundary_points, exploration], axis=0)
+            new_g = self._margin(problem, new_x)
+            x_train = np.concatenate([x_train, new_x], axis=0)
+            g_train = np.concatenate([g_train, new_g])
+
+        return self._make_result(
+            problem,
+            pf,
+            fom,
+            trace,
+            converged,
+            n_training_points=int(x_train.shape[0]),
+            surrogate_rank=self.rank,
+            surrogate_degree=self.degree,
+        )

@@ -1,0 +1,119 @@
+"""Minimized Norm Importance Sampling (MNIS / norm minimisation).
+
+The foundational importance-sampling method for SRAM yield (Dolecek, Qazi,
+Shah, Chandrakasan, ICCAD 2008).  Stage one finds (an approximation of) the
+minimum-norm failure point ``mu* = argmin ‖x‖ s.t. I(x) = 1`` (Eq. (2));
+stage two performs importance sampling from the mean-shifted prior
+``N(mu*, I)``.
+
+The method's known weakness — and the reason the paper generalises it — is
+that a single shifted Gaussian covers only the failure region closest to the
+origin and underestimates ``Pf`` whenever other regions carry comparable
+probability mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.presampling import (
+    find_failure_samples,
+    minimum_norm_failure_point,
+    refine_toward_origin,
+    stochastic_norm_minimisation,
+)
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.core.importance import ImportanceAccumulator, importance_weights
+from repro.distributions.normal import MultivariateNormal, standard_normal_logpdf
+from repro.problems.base import YieldProblem
+from repro.utils.validation import check_integer
+
+
+class MNIS(YieldEstimator):
+    """Norm-minimisation importance sampling."""
+
+    name = "MNIS"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 500_000,
+        batch_size: int = 1000,
+        presample_target: int = 20,
+        presample_budget: int = 5000,
+        refine_bisections: int = 12,
+        norm_search_iterations: int = 400,
+        proposal_std: float = 1.0,
+    ):
+        super().__init__(
+            fom_target=fom_target, max_simulations=max_simulations, batch_size=batch_size
+        )
+        self.presample_target = check_integer(presample_target, "presample_target", minimum=1)
+        self.presample_budget = check_integer(presample_budget, "presample_budget", minimum=1)
+        self.refine_bisections = check_integer(refine_bisections, "refine_bisections", minimum=0)
+        self.norm_search_iterations = check_integer(
+            norm_search_iterations, "norm_search_iterations", minimum=0
+        )
+        self.proposal_std = proposal_std
+
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        trace = ConvergenceTrace()
+
+        # Stage 1: locate the minimum-norm failure point.
+        presample = find_failure_samples(
+            problem,
+            self.presample_target,
+            rng,
+            max_simulations=min(self.presample_budget, self.max_simulations),
+        )
+        if presample.n_failures == 0:
+            # Nothing found: report a zero estimate with the budget spent.
+            return self._make_result(
+                problem, 0.0, np.inf, trace, converged=False, presample_failures=0
+            )
+        shift = minimum_norm_failure_point(presample.failure_samples)
+        if self.refine_bisections:
+            shift = refine_toward_origin(problem, shift, self.refine_bisections)
+        if self.norm_search_iterations:
+            # Black-box norm-minimisation search (Eq. (2)): strips the lateral
+            # components picked up by inflated-sigma pre-sampling; without
+            # this step a mean-shifted proposal is hopeless in the
+            # high-dimensional circuits.
+            shift = stochastic_norm_minimisation(
+                problem,
+                shift,
+                rng=rng,
+                n_iterations=self.norm_search_iterations,
+                max_simulations=max(self.max_simulations - problem.simulation_count, 0),
+            )
+
+        proposal = MultivariateNormal(shift, self.proposal_std)
+
+        # Stage 2: importance sampling from the shifted prior.
+        accumulator = ImportanceAccumulator()
+        converged = False
+        while problem.simulation_count < self.max_simulations:
+            remaining = self.max_simulations - problem.simulation_count
+            batch = min(self.batch_size, remaining)
+            if batch < 2:
+                break
+            x = proposal.sample(batch, seed=rng)
+            indicators = problem.indicator(x)
+            weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+            accumulator.update(indicators, weights)
+            pf, fom = accumulator.snapshot()
+            trace.record(problem.simulation_count, pf, fom)
+            if np.isfinite(fom) and fom <= self.fom_target and pf > 0:
+                converged = True
+                break
+
+        pf, fom = accumulator.snapshot()
+        return self._make_result(
+            problem,
+            pf,
+            fom,
+            trace,
+            converged,
+            presample_failures=presample.n_failures,
+            shift_norm=float(np.linalg.norm(shift)),
+        )

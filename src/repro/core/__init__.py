@@ -1,0 +1,70 @@
+"""The paper's primary contribution: optimal manifold, onion sampling, OPTIMIS.
+
+* :mod:`~repro.core.estimator` — the estimator interface and result records
+  shared by OPTIMIS and every baseline.
+* :mod:`~repro.core.importance` — importance-sampling estimators of the
+  failure probability, their variance/figure-of-merit, and a streaming
+  accumulator used by all IS-family methods.
+* :mod:`~repro.core.manifold` — the optimal-proposal / optimal-manifold
+  analysis of Section III (Eq. (3)–(7)): the optimal proposal density, its
+  finite-mixture (variational NM) approximations and the KL objective.
+* :mod:`~repro.core.hypersphere` — the optimal-hypersphere relaxation
+  (Eq. (8)): equal-probability shells and the empirically-optimal radius.
+* :mod:`~repro.core.onion` — onion sampling (Algorithm 1).
+* :mod:`~repro.core.optimis` — the OPTIMIS estimator: onion pre-sampling,
+  Neural-Spline-Flow proposal, iterative importance sampling.
+"""
+
+from repro.core.estimator import (
+    ConvergencePoint,
+    ConvergenceTrace,
+    EstimationResult,
+    YieldEstimator,
+)
+from repro.core.importance import (
+    ImportanceAccumulator,
+    importance_weights,
+    importance_sampling_estimate,
+    self_normalised_estimate,
+    effective_sample_size,
+    tempered_weights,
+    monte_carlo_fom,
+)
+from repro.core.manifold import (
+    optimal_proposal_log_density,
+    kl_divergence_to_proposal,
+    variational_norm_minimisation,
+    fit_failure_mixture,
+)
+from repro.core.hypersphere import (
+    OptimalHypersphereAnalysis,
+    shell_failure_profile,
+    optimal_radius,
+)
+from repro.core.onion import OnionSampler, OnionResult
+from repro.core.optimis import Optimis, OptimisConfig
+
+__all__ = [
+    "ConvergencePoint",
+    "ConvergenceTrace",
+    "EstimationResult",
+    "YieldEstimator",
+    "ImportanceAccumulator",
+    "importance_weights",
+    "importance_sampling_estimate",
+    "self_normalised_estimate",
+    "effective_sample_size",
+    "tempered_weights",
+    "monte_carlo_fom",
+    "optimal_proposal_log_density",
+    "kl_divergence_to_proposal",
+    "variational_norm_minimisation",
+    "fit_failure_mixture",
+    "OptimalHypersphereAnalysis",
+    "shell_failure_profile",
+    "optimal_radius",
+    "OnionSampler",
+    "OnionResult",
+    "Optimis",
+    "OptimisConfig",
+]

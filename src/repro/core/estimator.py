@@ -1,0 +1,176 @@
+"""Estimator interface and result records.
+
+Every yield-estimation method in this library — Monte Carlo, the six
+baselines and OPTIMIS — implements the same :class:`YieldEstimator`
+interface: given a :class:`~repro.problems.base.YieldProblem`, run until the
+figure of merit ``rho = std(Pf) / Pf`` drops below a target (0.1 in the
+paper, i.e. "at least 90% accuracy with 90% confidence") or a simulation
+budget is exhausted, and return an :class:`EstimationResult` carrying the
+estimate, its cost and the convergence trace used by the Fig. 3–5 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.problems.base import YieldProblem
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One point of a convergence trace (after one batch of simulations)."""
+
+    n_simulations: int
+    failure_probability: float
+    fom: float
+
+
+class ConvergenceTrace:
+    """Ordered record of (simulation count, estimate, figure of merit)."""
+
+    def __init__(self):
+        self.points: List[ConvergencePoint] = []
+
+    def record(self, n_simulations: int, failure_probability: float, fom: float) -> None:
+        if self.points and n_simulations < self.points[-1].n_simulations:
+            raise ValueError("simulation counts must be non-decreasing")
+        self.points.append(
+            ConvergencePoint(int(n_simulations), float(failure_probability), float(fom))
+        )
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def n_simulations(self) -> np.ndarray:
+        return np.array([p.n_simulations for p in self.points])
+
+    @property
+    def failure_probabilities(self) -> np.ndarray:
+        return np.array([p.failure_probability for p in self.points])
+
+    @property
+    def foms(self) -> np.ndarray:
+        return np.array([p.fom for p in self.points])
+
+    def as_dict(self) -> Dict[str, list]:
+        """Plain-Python representation, convenient for JSON dumps."""
+        return {
+            "n_simulations": [p.n_simulations for p in self.points],
+            "failure_probability": [p.failure_probability for p in self.points],
+            "fom": [p.fom for p in self.points],
+        }
+
+
+@dataclass
+class EstimationResult:
+    """Outcome of one estimator run on one problem."""
+
+    method: str
+    problem: str
+    failure_probability: float
+    n_simulations: int
+    fom: float
+    converged: bool
+    trace: ConvergenceTrace = field(default_factory=ConvergenceTrace)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def relative_error(self, reference: Optional[float] = None) -> float:
+        """Relative error versus a reference failure probability.
+
+        Uses the problem's golden value when ``reference`` is omitted (the
+        caller must have stored it in ``metadata['reference']`` or pass it
+        explicitly).
+        """
+        if reference is None:
+            reference = self.metadata.get("reference")  # type: ignore[assignment]
+        if reference is None or reference <= 0:
+            raise ValueError("a positive reference failure probability is required")
+        return abs(self.failure_probability - float(reference)) / float(reference)
+
+    def speedup_over(self, other: "EstimationResult") -> float:
+        """Simulation-count speed-up of this run relative to ``other``."""
+        if self.n_simulations <= 0:
+            raise ValueError("n_simulations must be positive to compute a speedup")
+        return other.n_simulations / self.n_simulations
+
+
+class YieldEstimator:
+    """Base class for every yield-estimation method.
+
+    Parameters
+    ----------
+    fom_target:
+        Stop once ``std(Pf)/Pf`` falls below this value (paper: 0.1).
+    max_simulations:
+        Hard budget of SPICE-equivalent simulations.
+    batch_size:
+        Number of simulations per estimation round.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 1_000_000,
+        batch_size: int = 1000,
+    ):
+        self.fom_target = check_positive(fom_target, "fom_target")
+        self.max_simulations = check_integer(max_simulations, "max_simulations", minimum=1)
+        self.batch_size = check_integer(batch_size, "batch_size", minimum=1)
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, problem: YieldProblem, seed: SeedLike = None) -> EstimationResult:
+        """Run the estimator on ``problem``.
+
+        The default implementation resets the problem's simulation counter,
+        delegates to :meth:`_run` and fills in the bookkeeping every method
+        shares (problem name, golden reference, convergence flag).
+        """
+        rng = as_generator(seed)
+        problem.reset_count()
+        result = self._run(problem, rng)
+        result.problem = problem.name
+        if problem.true_failure_probability is not None:
+            result.metadata.setdefault("reference", problem.true_failure_probability)
+        return result
+
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def _make_result(
+        self,
+        problem: YieldProblem,
+        failure_probability: float,
+        fom: float,
+        trace: ConvergenceTrace,
+        converged: bool,
+        **metadata,
+    ) -> EstimationResult:
+        """Convenience constructor used by the concrete estimators."""
+        return EstimationResult(
+            method=self.name,
+            problem=problem.name,
+            failure_probability=float(failure_probability),
+            n_simulations=int(problem.simulation_count),
+            fom=float(fom),
+            converged=bool(converged),
+            trace=trace,
+            metadata=dict(metadata),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(fom_target={self.fom_target}, "
+            f"max_simulations={self.max_simulations})"
+        )

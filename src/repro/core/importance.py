@@ -1,0 +1,231 @@
+"""Importance-sampling estimators of the failure probability.
+
+Given samples ``x_i ~ q(x)`` and the failure indicator ``I(x_i)``, the
+standard (unnormalised) IS estimator of Eq. (1) is
+
+    Pf ≈ (1/N) Σ I(x_i) w(x_i),      w(x) = p(x) / q(x),
+
+whose variance is estimated from the sample variance of ``I·w``.  The module
+also provides the self-normalised variant (used when the proposal is only
+known up to a constant), the effective sample size diagnostic, and the
+:class:`ImportanceAccumulator` that every IS-family estimator uses to stream
+batches and track the figure of merit ``rho = std(Pf) / Pf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_indicator, check_positive
+
+# Importance weights are clipped at exp(LOG_WEIGHT_CLIP) to keep a single
+# astronomically-weighted sample (possible when the proposal has much lighter
+# tails than the prior in some direction) from destroying the estimate.  The
+# clip is generous: it only activates for weights beyond e^50.
+LOG_WEIGHT_CLIP = 50.0
+
+
+def importance_weights(
+    log_prior: np.ndarray, log_proposal: np.ndarray, clip: float = LOG_WEIGHT_CLIP
+) -> np.ndarray:
+    """Importance weights ``w = p / q`` from log-densities."""
+    log_prior = np.asarray(log_prior, dtype=float)
+    log_proposal = np.asarray(log_proposal, dtype=float)
+    if log_prior.shape != log_proposal.shape:
+        raise ValueError(
+            f"log densities must have equal shapes, got {log_prior.shape} vs {log_proposal.shape}"
+        )
+    log_w = np.clip(log_prior - log_proposal, -np.inf, clip)
+    return np.exp(log_w)
+
+
+def importance_sampling_estimate(
+    indicators: np.ndarray, weights: np.ndarray
+) -> Tuple[float, float]:
+    """Standard IS estimate and its standard deviation.
+
+    Returns ``(Pf, std(Pf))`` where the standard deviation is the usual
+    ``sqrt(Var(I·w) / N)`` plug-in estimate.
+    """
+    indicators = check_indicator(indicators)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != indicators.shape:
+        raise ValueError("indicators and weights must have the same shape")
+    if np.any(weights < 0):
+        raise ValueError("importance weights must be non-negative")
+    n = indicators.size
+    if n == 0:
+        return 0.0, np.inf
+    contributions = indicators * weights
+    pf = float(np.mean(contributions))
+    std = float(np.std(contributions, ddof=1) / np.sqrt(n)) if n > 1 else np.inf
+    return pf, std
+
+
+def self_normalised_estimate(
+    indicators: np.ndarray, weights: np.ndarray
+) -> Tuple[float, float]:
+    """Self-normalised IS estimate ``Σ I w / Σ w`` and its delta-method std."""
+    indicators = check_indicator(indicators)
+    weights = np.asarray(weights, dtype=float)
+    if weights.shape != indicators.shape:
+        raise ValueError("indicators and weights must have the same shape")
+    weight_sum = weights.sum()
+    if weight_sum <= 0:
+        return 0.0, np.inf
+    normalised = weights / weight_sum
+    pf = float(np.sum(indicators * normalised))
+    # Delta-method variance of the ratio estimator.
+    residual = normalised * (indicators - pf)
+    std = float(np.sqrt(np.sum(residual**2)))
+    return pf, std
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Kish effective sample size ``(Σw)² / Σw²`` of a weighted sample."""
+    weights = np.asarray(weights, dtype=float)
+    if weights.size == 0 or np.all(weights == 0):
+        return 0.0
+    return float(weights.sum() ** 2 / np.sum(weights**2))
+
+
+def tempered_weights(
+    log_weights: np.ndarray,
+    min_ess_fraction: float = 0.25,
+    n_bisections: int = 40,
+) -> np.ndarray:
+    """Self-normalised, *tempered* weights with a guaranteed effective sample size.
+
+    Raw importance weights ``w_i = exp(log_weights_i)`` can concentrate on a
+    handful of points (in the yield setting, the prior density across onion
+    shells spans dozens of orders of magnitude).  Using them directly as
+    training weights for the flow would collapse the training set; ignoring
+    them would bias the flow towards wherever the samples happened to be
+    drawn.  Tempering exponentiates the weights by ``alpha ∈ [0, 1]`` chosen
+    (by bisection) as the largest value whose Kish effective sample size is at
+    least ``min_ess_fraction`` of the sample count — a standard compromise
+    between fidelity to ``q*`` and statistical stability.
+
+    Returns weights normalised to sum to one.
+    """
+    log_weights = np.asarray(log_weights, dtype=float)
+    if log_weights.ndim != 1 or log_weights.size == 0:
+        raise ValueError("log_weights must be a non-empty 1-D array")
+    if not 0.0 < min_ess_fraction <= 1.0:
+        raise ValueError("min_ess_fraction must lie in (0, 1]")
+    n = log_weights.size
+
+    def normalised(alpha: float) -> np.ndarray:
+        scaled = alpha * (log_weights - log_weights.max())
+        w = np.exp(scaled)
+        return w / w.sum()
+
+    full = normalised(1.0)
+    if effective_sample_size(full) >= min_ess_fraction * n:
+        return full
+    low, high = 0.0, 1.0
+    for _ in range(n_bisections):
+        mid = 0.5 * (low + high)
+        if effective_sample_size(normalised(mid)) >= min_ess_fraction * n:
+            low = mid
+        else:
+            high = mid
+    return normalised(low)
+
+
+def monte_carlo_fom(failure_probability: float, n_samples: int) -> float:
+    """Figure of merit of a plain Monte-Carlo estimate.
+
+    ``rho = std(Pf)/Pf = sqrt((1 - Pf) / (N Pf))`` for a binomial proportion.
+    Returns ``inf`` when no failure has been observed yet.
+    """
+    if n_samples <= 0 or failure_probability <= 0:
+        return np.inf
+    check_positive(n_samples, "n_samples")
+    return float(
+        np.sqrt((1.0 - failure_probability) / (n_samples * failure_probability))
+    )
+
+
+@dataclass
+class _AccumulatorState:
+    n: int = 0
+    sum_iw: float = 0.0
+    sum_iw_squared: float = 0.0
+    n_failures: int = 0
+
+
+class ImportanceAccumulator:
+    """Streaming accumulator for (multi-proposal) importance sampling.
+
+    Batches drawn from *different* proposal distributions can be mixed: each
+    sample is weighted with respect to the proposal it was actually drawn
+    from, which keeps the combined estimator unbiased (each term of Eq. (1)
+    has expectation ``Pf`` regardless of the proposal used for that term).
+    This is exactly what the adaptive methods (AIS, ACS, OPTIMIS) need as
+    they refine their proposal over rounds.
+    """
+
+    def __init__(self):
+        self._state = _AccumulatorState()
+
+    # ------------------------------------------------------------------ #
+    def update(self, indicators: np.ndarray, weights: np.ndarray) -> None:
+        """Add one batch of indicator values and importance weights."""
+        indicators = check_indicator(indicators)
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != indicators.shape:
+            raise ValueError("indicators and weights must have the same shape")
+        if np.any(weights < 0):
+            raise ValueError("importance weights must be non-negative")
+        contributions = indicators * weights
+        self._state.n += indicators.size
+        self._state.sum_iw += float(contributions.sum())
+        self._state.sum_iw_squared += float((contributions**2).sum())
+        self._state.n_failures += int(indicators.sum())
+
+    def update_monte_carlo(self, indicators: np.ndarray) -> None:
+        """Add a plain Monte-Carlo batch (unit weights)."""
+        indicators = check_indicator(indicators)
+        self.update(indicators, np.ones(indicators.size))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_samples(self) -> int:
+        return self._state.n
+
+    @property
+    def n_failures(self) -> int:
+        return self._state.n_failures
+
+    @property
+    def failure_probability(self) -> float:
+        """Current estimate of ``Pf``."""
+        if self._state.n == 0:
+            return 0.0
+        return self._state.sum_iw / self._state.n
+
+    @property
+    def standard_deviation(self) -> float:
+        """Plug-in standard deviation of the current estimate."""
+        n = self._state.n
+        if n < 2:
+            return np.inf
+        mean = self._state.sum_iw / n
+        variance = max(self._state.sum_iw_squared / n - mean**2, 0.0) * n / (n - 1)
+        return float(np.sqrt(variance / n))
+
+    @property
+    def fom(self) -> float:
+        """Figure of merit ``rho = std(Pf) / Pf`` (inf before any failure)."""
+        pf = self.failure_probability
+        if pf <= 0:
+            return np.inf
+        return self.standard_deviation / pf
+
+    def snapshot(self) -> Tuple[float, float]:
+        """Return ``(Pf, fom)`` without recomputing twice."""
+        return self.failure_probability, self.fom

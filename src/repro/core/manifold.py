@@ -1,0 +1,183 @@
+"""Optimal proposal distribution and the optimal-manifold analysis.
+
+Section III-A/B of the paper derives (i) the optimal IS proposal
+``q*(x) = p(x) I(x) / Pf`` (Eq. (4)), (ii) its Laplace approximation whose
+mode recovers the classic norm-minimisation point, and (iii) the
+generalisation of norm minimisation to an infinite Gaussian mixture whose KL
+projection onto ``q*`` concentrates the mixture's mass near the failure
+boundary — the *optimal manifold* (Eq. (6)–(7)).
+
+This module implements the computable pieces of that analysis:
+
+* evaluating ``log q*`` given the prior, indicator values and an estimate of
+  ``Pf`` (used by tests and the Fig. 1 visualisations);
+* the KL-divergence objective of Eq. (6)/(7) restricted to a finite mixture,
+  whose maximisation over the mixture parameters is performed by a weighted
+  EM procedure (:func:`fit_failure_mixture`);
+* the single-component special case (:func:`variational_norm_minimisation`),
+  the "variational version of NM" the paper points out as the ``M = 1``
+  instance of the optimal manifold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.distributions.mixture import GaussianMixture
+from repro.distributions.normal import standard_normal_logpdf
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_positive, check_samples_2d
+
+
+def optimal_proposal_log_density(
+    x: np.ndarray, indicators: np.ndarray, failure_probability: float
+) -> np.ndarray:
+    """Log of the optimal proposal ``q*(x) = p(x) I(x) / Pf`` (Eq. (4)).
+
+    Points with ``I(x) = 0`` have zero density (``-inf`` log-density).
+    """
+    x = check_samples_2d(x, "x")
+    indicators = np.asarray(indicators)
+    if indicators.shape != (x.shape[0],):
+        raise ValueError("indicators must have one entry per sample")
+    check_positive(failure_probability, "failure_probability")
+    log_p = standard_normal_logpdf(x)
+    with np.errstate(divide="ignore"):
+        log_indicator = np.where(indicators.astype(bool), 0.0, -np.inf)
+    return log_p + log_indicator - np.log(failure_probability)
+
+
+def kl_divergence_to_proposal(
+    failure_samples: np.ndarray,
+    proposal: GaussianMixture,
+    failure_log_weights: Optional[np.ndarray] = None,
+) -> float:
+    """Monte-Carlo estimate of ``KL(q* || q)`` up to the entropy constant.
+
+    Eq. (6) shows minimising the KL divergence is equivalent to maximising
+    ``E_{q*}[log q]``; given (weighted) samples approximately distributed as
+    ``q*`` (failure points from onion sampling or importance reweighting),
+    the expectation is a weighted average of ``log q`` over those samples.
+    The returned value is ``-E_{q*}[log q]`` so that *smaller is better*,
+    mirroring the direction of the KL objective.
+    """
+    failure_samples = check_samples_2d(failure_samples, "failure_samples")
+    log_q = proposal.log_pdf(failure_samples)
+    if failure_log_weights is None:
+        return float(-np.mean(log_q))
+    weights = np.exp(np.asarray(failure_log_weights, dtype=float))
+    if weights.shape != (failure_samples.shape[0],):
+        raise ValueError("failure_log_weights must have one entry per sample")
+    if weights.sum() <= 0:
+        raise ValueError("weights must have a positive sum")
+    weights = weights / weights.sum()
+    return float(-np.sum(weights * log_q))
+
+
+def variational_norm_minimisation(
+    failure_samples: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    component_std: float = 1.0,
+) -> GaussianMixture:
+    """The ``M = 1`` optimal-manifold solution (variational NM).
+
+    With a single Gaussian component of fixed isotropic scale, maximising
+    ``E_{q*}[log q]`` places the component mean at the (weighted) mean of the
+    failure distribution — in contrast to classic NM, which places it at the
+    *closest* failure point and ignores the spread of the failure region.
+    """
+    failure_samples = check_samples_2d(failure_samples, "failure_samples")
+    check_positive(component_std, "component_std")
+    if weights is None:
+        weights = np.full(failure_samples.shape[0], 1.0 / failure_samples.shape[0])
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (failure_samples.shape[0],):
+            raise ValueError("weights must have one entry per failure sample")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        weights = weights / weights.sum()
+    mean = weights @ failure_samples
+    return GaussianMixture(mean[None, :], stds=component_std, weights=np.array([1.0]))
+
+
+def fit_failure_mixture(
+    failure_samples: np.ndarray,
+    n_components: int,
+    weights: Optional[np.ndarray] = None,
+    component_std: Optional[float] = None,
+    n_iterations: int = 50,
+    seed: SeedLike = None,
+) -> GaussianMixture:
+    """Finite-mixture approximation of the optimal manifold (Eq. (7)).
+
+    A weighted EM procedure fits an ``M``-component isotropic Gaussian
+    mixture to the failure samples.  This is the practical, finite-``M``
+    stand-in for the infinite mixture of the optimal manifold and is the
+    proposal family used by the clustering baselines; OPTIMIS replaces it
+    with a normalizing flow.
+
+    Parameters
+    ----------
+    failure_samples:
+        Points with ``I(x) = 1`` of shape ``(n, D)``.
+    n_components:
+        Number of mixture components ``M``.
+    weights:
+        Optional per-sample weights approximating ``q*`` (e.g. prior
+        densities of onion samples).
+    component_std:
+        Fixed isotropic component scale; ``None`` lets EM update a scalar
+        scale per component.
+    """
+    failure_samples = check_samples_2d(failure_samples, "failure_samples")
+    n, dim = failure_samples.shape
+    n_components = check_integer(n_components, "n_components", minimum=1)
+    n_iterations = check_integer(n_iterations, "n_iterations", minimum=1)
+    if n_components > n:
+        raise ValueError(
+            f"cannot fit {n_components} components to {n} failure samples"
+        )
+    rng = as_generator(seed)
+
+    if weights is None:
+        sample_weights = np.full(n, 1.0 / n)
+    else:
+        sample_weights = np.asarray(weights, dtype=float)
+        if sample_weights.shape != (n,):
+            raise ValueError("weights must have one entry per failure sample")
+        if np.any(sample_weights < 0) or sample_weights.sum() <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        sample_weights = sample_weights / sample_weights.sum()
+
+    # Initialise means at randomly chosen failure samples (k-means++-style
+    # spread would also work; failure samples are already informative).
+    initial = rng.choice(n, size=n_components, replace=False, p=sample_weights)
+    means = failure_samples[initial].copy()
+    stds = np.full(n_components, component_std if component_std else 1.0)
+    mixture_weights = np.full(n_components, 1.0 / n_components)
+
+    for _ in range(n_iterations):
+        mixture = GaussianMixture(means, stds=stds, weights=mixture_weights)
+        responsibilities = mixture.responsibilities(failure_samples)
+        weighted_resp = responsibilities * sample_weights[:, None]
+        component_mass = weighted_resp.sum(axis=0)
+        # Guard against empty components: re-seed them at a random sample.
+        empty = component_mass < 1e-12
+        if np.any(empty):
+            reseed = rng.choice(n, size=int(empty.sum()), p=sample_weights)
+            means[empty] = failure_samples[reseed]
+            component_mass = np.maximum(component_mass, 1e-12)
+        means = (weighted_resp.T @ failure_samples) / component_mass[:, None]
+        if component_std is None:
+            for j in range(n_components):
+                diff = failure_samples - means[j]
+                variance = np.sum(weighted_resp[:, j][:, None] * diff**2) / (
+                    component_mass[j] * dim
+                )
+                stds[j] = np.sqrt(max(variance, 1e-6))
+        mixture_weights = component_mass / component_mass.sum()
+
+    return GaussianMixture(means, stds=stds, weights=mixture_weights)

@@ -1,0 +1,258 @@
+"""Onion sampling (Algorithm 1 of the paper).
+
+The variation space is divided into ``K`` hollow hyperspheres of equal prior
+probability.  Starting from the **outermost** shell (where failures are most
+likely under the prior's radial profile), ``J`` points are drawn uniformly
+inside each shell and pushed through the simulator; all failing points are
+kept.  The per-shell *uniform failure rate* ``U_k`` is monitored and the scan
+stops once ``U_k`` drops below a threshold ``τ`` — the signal that the scan
+has crossed the failure boundary into the (mostly safe) bulk of the prior.
+
+The collected failure points approximate the support of the optimal proposal
+``q*(x) ∝ p(x) I(x)`` and become the training set for the Neural Spline Flow
+in OPTIMIS.  The sampler also implements the two refinements discussed in the
+paper: restarting near the optimal hypersphere and going outward, and
+re-dividing the domain after excluding non-failure regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.hypersphere import ShellStatistics
+from repro.distributions.radial import (
+    RadialDistribution,
+    log_shell_volume,
+    sample_uniform_shell,
+)
+from repro.problems.base import YieldProblem
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_probability
+
+
+@dataclass
+class OnionResult:
+    """Outcome of one onion-sampling run."""
+
+    failure_samples: np.ndarray  # (n_fail, D) points with I(x) = 1
+    all_samples: np.ndarray  # every simulated point
+    all_indicators: np.ndarray  # indicator of every simulated point
+    # Log-density of the onion draw distribution at each failure sample
+    # (uniform inside the shell it was drawn from).  Together with the prior
+    # log-density this gives importance weights towards q* ∝ p(x) I(x), which
+    # OPTIMIS uses as (tempered) training weights for the flow.
+    failure_log_draw_density: np.ndarray = field(default_factory=lambda: np.empty(0))
+    shell_statistics: List[ShellStatistics] = field(default_factory=list)
+    n_simulations: int = 0
+    stopped_early: bool = False  # True if the U_k < tau criterion fired
+
+    @property
+    def n_failures(self) -> int:
+        return self.failure_samples.shape[0]
+
+    @property
+    def uniform_failure_rates(self) -> np.ndarray:
+        """``U_k`` per visited shell, in visit order."""
+        return np.array([s.uniform_failure_rate for s in self.shell_statistics])
+
+
+class OnionSampler:
+    """Failure-boundary-aware pre-sampler (Algorithm 1).
+
+    Parameters
+    ----------
+    n_shells:
+        Number of equal-probability hyperspheres ``K``.
+    samples_per_shell:
+        Uniform samples ``J`` drawn inside each visited shell.
+    stop_threshold:
+        Threshold ``τ`` on the uniform failure rate; the inward scan stops
+        when ``U_k < τ`` (after at least one failure has been seen, so an
+        entirely-safe outermost shell does not end the scan prematurely).
+    max_simulations:
+        Hard cap on simulator calls.
+    inward:
+        ``True`` (default) scans from the outermost shell inward as in
+        Algorithm 1; ``False`` starts at the innermost shell and moves
+        outward, the refinement discussed for tight pre-sampling budgets.
+    """
+
+    def __init__(
+        self,
+        n_shells: int = 20,
+        samples_per_shell: int = 100,
+        stop_threshold: float = 0.05,
+        max_simulations: int = 100_000,
+        inward: bool = True,
+    ):
+        self.n_shells = check_integer(n_shells, "n_shells", minimum=1)
+        self.samples_per_shell = check_integer(samples_per_shell, "samples_per_shell", minimum=1)
+        self.stop_threshold = check_probability(stop_threshold, "stop_threshold")
+        self.max_simulations = check_integer(max_simulations, "max_simulations", minimum=1)
+        self.inward = bool(inward)
+
+    # ------------------------------------------------------------------ #
+    def sample(self, problem: YieldProblem, seed: SeedLike = None) -> OnionResult:
+        """Run onion sampling against ``problem``."""
+        rng = as_generator(seed)
+        dim = problem.dimension
+        radial = RadialDistribution(dim)
+        radii = radial.shell_radii(self.n_shells)
+        edges = np.concatenate([[0.0], radii])
+
+        shell_order = range(self.n_shells - 1, -1, -1) if self.inward else range(self.n_shells)
+
+        failure_chunks: List[np.ndarray] = []
+        failure_density_chunks: List[np.ndarray] = []
+        sample_chunks: List[np.ndarray] = []
+        indicator_chunks: List[np.ndarray] = []
+        statistics: List[ShellStatistics] = []
+        n_simulations = 0
+        stopped_early = False
+        seen_failure = False
+
+        for k in shell_order:
+            if n_simulations >= self.max_simulations:
+                break
+            budget = min(self.samples_per_shell, self.max_simulations - n_simulations)
+            points = sample_uniform_shell(
+                budget, dim, r_inner=float(edges[k]), r_outer=float(edges[k + 1]), seed=rng
+            )
+            indicators = problem.indicator(points)
+            n_simulations += budget
+
+            failures = points[indicators.astype(bool)]
+            if failures.size:
+                failure_chunks.append(failures)
+                log_density = -log_shell_volume(dim, float(edges[k]), float(edges[k + 1]))
+                failure_density_chunks.append(np.full(failures.shape[0], log_density))
+                seen_failure = True
+            sample_chunks.append(points)
+            indicator_chunks.append(indicators)
+
+            stats = ShellStatistics(
+                index=k,
+                r_inner=float(edges[k]),
+                r_outer=float(edges[k + 1]),
+                n_samples=budget,
+                n_failures=int(indicators.sum()),
+                prior_mass=radial.shell_probability(float(edges[k]), float(edges[k + 1])),
+            )
+            statistics.append(stats)
+
+            if seen_failure and stats.uniform_failure_rate < self.stop_threshold:
+                stopped_early = True
+                break
+
+        failure_samples = (
+            np.concatenate(failure_chunks, axis=0) if failure_chunks else np.empty((0, dim))
+        )
+        failure_log_density = (
+            np.concatenate(failure_density_chunks)
+            if failure_density_chunks
+            else np.empty(0)
+        )
+        all_samples = (
+            np.concatenate(sample_chunks, axis=0) if sample_chunks else np.empty((0, dim))
+        )
+        all_indicators = (
+            np.concatenate(indicator_chunks, axis=0) if indicator_chunks else np.empty(0, dtype=int)
+        )
+        return OnionResult(
+            failure_samples=failure_samples,
+            all_samples=all_samples,
+            all_indicators=all_indicators,
+            failure_log_draw_density=failure_log_density,
+            shell_statistics=statistics,
+            n_simulations=n_simulations,
+            stopped_early=stopped_early,
+        )
+
+    # ------------------------------------------------------------------ #
+    def sample_refined(
+        self,
+        problem: YieldProblem,
+        seed: SeedLike = None,
+        extra_budget: Optional[int] = None,
+    ) -> OnionResult:
+        """Two-stage onion sampling with domain re-division.
+
+        Implements the "if there is more budget" refinement of Section III-C:
+        after a first inward scan locates the shells that actually contain
+        failures, the region inside the innermost failing shell is excluded,
+        the remaining (outer) region is re-divided into ``K`` fresh shells and
+        the scan repeats there, concentrating the remaining budget near the
+        optimal hypersphere.
+        """
+        rng = as_generator(seed)
+        first = self.sample(problem, seed=rng)
+        if extra_budget is None:
+            extra_budget = self.max_simulations - first.n_simulations
+        if extra_budget <= 0 or first.n_failures == 0:
+            return first
+
+        dim = problem.dimension
+        radial = RadialDistribution(dim)
+        failing_shells = [s for s in first.shell_statistics if s.n_failures > 0]
+        inner_edge = min(s.r_inner for s in failing_shells)
+        # Re-divide the probability mass outside the safe core into K shells.
+        inner_mass = float(radial.cdf(np.array(inner_edge)))
+        probabilities = inner_mass + (1.0 - inner_mass) * np.arange(1, self.n_shells + 1) / self.n_shells
+        probabilities[-1] = min(probabilities[-1], 1.0 - 1e-9)
+        refined_radii = radial.inverse_cdf(probabilities)
+        refined_edges = np.concatenate([[inner_edge], refined_radii])
+
+        failure_chunks = [first.failure_samples] if first.n_failures else []
+        failure_density_chunks = (
+            [first.failure_log_draw_density] if first.n_failures else []
+        )
+        sample_chunks = [first.all_samples]
+        indicator_chunks = [first.all_indicators]
+        statistics = list(first.shell_statistics)
+        n_simulations = first.n_simulations
+
+        per_shell = max(extra_budget // self.n_shells, 1)
+        for k in range(self.n_shells):
+            if n_simulations >= first.n_simulations + extra_budget:
+                break
+            r_inner = float(refined_edges[k])
+            r_outer = float(refined_edges[k + 1])
+            if r_outer <= r_inner:
+                continue
+            points = sample_uniform_shell(per_shell, dim, r_inner=r_inner, r_outer=r_outer, seed=rng)
+            indicators = problem.indicator(points)
+            n_simulations += per_shell
+            failures = points[indicators.astype(bool)]
+            if failures.size:
+                failure_chunks.append(failures)
+                log_density = -log_shell_volume(dim, r_inner, r_outer)
+                failure_density_chunks.append(np.full(failures.shape[0], log_density))
+            sample_chunks.append(points)
+            indicator_chunks.append(indicators)
+            statistics.append(
+                ShellStatistics(
+                    index=self.n_shells + k,
+                    r_inner=r_inner,
+                    r_outer=r_outer,
+                    n_samples=per_shell,
+                    n_failures=int(indicators.sum()),
+                    prior_mass=radial.shell_probability(r_inner, r_outer),
+                )
+            )
+
+        return OnionResult(
+            failure_samples=np.concatenate(failure_chunks, axis=0)
+            if failure_chunks
+            else np.empty((0, dim)),
+            all_samples=np.concatenate(sample_chunks, axis=0),
+            all_indicators=np.concatenate(indicator_chunks, axis=0),
+            failure_log_draw_density=np.concatenate(failure_density_chunks)
+            if failure_density_chunks
+            else np.empty(0),
+            shell_statistics=statistics,
+            n_simulations=n_simulations,
+            stopped_early=first.stopped_early,
+        )

@@ -1,0 +1,433 @@
+"""OPTIMIS: Optimal Manifold Importance Sampling.
+
+The estimator combines the three ingredients of Section III:
+
+1. **Onion sampling** (Algorithm 1) provides an initial set of failure
+   points that trace the failure boundary — the suboptimal-but-cheap
+   approximation of the optimal hypersphere.
+2. A **Neural Spline Flow** is trained by (importance-weighted) maximum
+   likelihood on those failure points, turning them into a full proposal
+   density ``q(x)`` approximating the optimal proposal ``q*(x) ∝ p(x) I(x)``.
+3. **Importance sampling** with the flow proposal estimates ``Pf``.  After
+   every few rounds the newly discovered failure points are added to the
+   training set — each carrying the importance weight of the distribution it
+   was actually drawn from, so the *effective* training distribution keeps
+   approximating ``q*`` rather than wherever the flow currently likes to
+   sample — and the flow is refined.  The IS estimate itself stays unbiased
+   no matter how imperfect the proposal still is: the
+   robustness-of-IS / efficiency-of-surrogates combination the paper argues
+   for.
+
+Stopping follows the paper's figure of merit ``rho = std(Pf)/Pf <= 0.1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.core.importance import (
+    ImportanceAccumulator,
+    importance_weights,
+    tempered_weights,
+)
+from repro.core.onion import OnionResult, OnionSampler
+from repro.distributions.normal import standard_normal_logpdf
+from repro.flows.flow import FlowConfig, NeuralSplineFlow
+from repro.problems.base import YieldProblem
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.validation import check_integer, check_positive
+
+
+@dataclass
+class OptimisConfig:
+    """Hyper-parameters of the OPTIMIS estimator.
+
+    The defaults target the scaled benchmark problems; ``for_dimension``
+    adapts the pre-sampling budget and flow size to the problem
+    dimensionality, mirroring how the paper sizes its networks per circuit.
+    """
+
+    # Onion pre-sampling.
+    n_shells: int = 20
+    presample_per_shell: int = 200
+    presample_stop_threshold: float = 0.005
+    presample_max_simulations: int = 4000
+    # Flow proposal.  A *shallow, strongly regularised* spline flow makes a
+    # far better IS proposal than a deep one when trained on a few hundred
+    # failure points: the ActNorm layer supplies the failure distribution's
+    # moments, the (identity-regularised) splines add shape, and the widened
+    # base keeps the proposal's tails at least as heavy as the prior's.
+    flow: FlowConfig = field(default_factory=lambda: FlowConfig(
+        n_layers=2, n_bins=4, hidden_sizes=(32,), epochs=60, learning_rate=5e-3,
+        weight_decay=0.1,
+    ))
+    refit_epochs: int = 30
+    max_training_points: int = 1500
+    # Base-distribution widening factor of the proposal (see
+    # NeuralSplineFlow.log_prob); 1.0 disables widening.
+    proposal_widening: float = 1.3
+    # Boundary pull-in refinement: a handful of onion failure points are
+    # pulled towards the origin by a greedy norm-minimisation search, and
+    # every intermediate failure point found on the way is kept.  Onion
+    # sampling finds failures at the *outer* radii where the shells have
+    # volume; the pull-in walks those points down to the failure boundary's
+    # closest approach, which is where the optimal proposal q* ∝ p·I actually
+    # concentrates, so the flow's first fit starts from representative data.
+    pullin_points: int = 8
+    pullin_iterations: int = 150
+    # Importance-sampling refinement rounds.
+    is_batch_size: int = 1000
+    refit_every: int = 2
+    min_failures_for_flow: int = 20
+    # The flow is refitted only when the failure archive has grown by at least
+    # this fraction since the previous fit (always at the first opportunity).
+    refit_growth_fraction: float = 0.2
+    # Defensive mixture: fraction of each IS batch drawn from the prior, which
+    # bounds the importance weights and protects the estimate while the flow
+    # is still inaccurate.
+    prior_mixture_fraction: float = 0.05
+    # Training points are weighted by tempered importance weights towards
+    # q* ∝ p·I; the tempering keeps the Kish effective sample size above this
+    # fraction of the training-set size (see core.importance.tempered_weights).
+    training_ess_fraction: float = 0.25
+
+    def validate(self) -> None:
+        check_integer(self.n_shells, "n_shells", minimum=1)
+        check_integer(self.presample_per_shell, "presample_per_shell", minimum=1)
+        check_positive(self.presample_stop_threshold, "presample_stop_threshold")
+        check_integer(self.presample_max_simulations, "presample_max_simulations", minimum=1)
+        check_integer(self.pullin_points, "pullin_points", minimum=0)
+        check_integer(self.pullin_iterations, "pullin_iterations", minimum=0)
+        check_integer(self.is_batch_size, "is_batch_size", minimum=2)
+        check_integer(self.refit_every, "refit_every", minimum=1)
+        check_integer(self.min_failures_for_flow, "min_failures_for_flow", minimum=2)
+        check_integer(self.max_training_points, "max_training_points", minimum=10)
+        if not 0.0 <= self.prior_mixture_fraction < 1.0:
+            raise ValueError("prior_mixture_fraction must lie in [0, 1)")
+        if not 0.0 < self.training_ess_fraction <= 1.0:
+            raise ValueError("training_ess_fraction must lie in (0, 1]")
+        if not 0.0 <= self.refit_growth_fraction <= 1.0:
+            raise ValueError("refit_growth_fraction must lie in [0, 1]")
+        check_positive(self.proposal_widening, "proposal_widening")
+        self.flow.validate()
+
+    @classmethod
+    def for_dimension(cls, dim: int) -> "OptimisConfig":
+        """Dimension-aware defaults (larger problems get leaner flows)."""
+        config = cls()
+        if dim <= 16:
+            config.flow = FlowConfig(
+                n_layers=2, n_bins=4, hidden_sizes=(32,), epochs=80, learning_rate=5e-3,
+                weight_decay=0.1,
+            )
+            config.presample_per_shell = 150
+            config.presample_max_simulations = 3000
+        elif dim <= 200:
+            config.flow = FlowConfig(
+                n_layers=2, n_bins=4, hidden_sizes=(48,), epochs=60, learning_rate=5e-3,
+                weight_decay=0.1,
+            )
+        else:
+            # The 569- and 1093-dimensional arrays: a leaner spline keeps the
+            # conditioner output width, and therefore the training cost,
+            # manageable in pure numpy.
+            config.flow = FlowConfig(
+                n_layers=2, n_bins=4, hidden_sizes=(64,), epochs=40, learning_rate=5e-3,
+                weight_decay=0.1,
+            )
+            config.refit_epochs = 20
+            config.presample_per_shell = 300
+            config.presample_max_simulations = 6000
+        return config
+
+
+class Optimis(YieldEstimator):
+    """The OPTIMIS yield estimator (the paper's proposed method)."""
+
+    name = "OPTIMIS"
+
+    def __init__(
+        self,
+        fom_target: float = 0.1,
+        max_simulations: int = 200_000,
+        config: Optional[OptimisConfig] = None,
+    ):
+        config = config or OptimisConfig()
+        config.validate()
+        super().__init__(
+            fom_target=fom_target,
+            max_simulations=max_simulations,
+            batch_size=config.is_batch_size,
+        )
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def _run(self, problem: YieldProblem, rng: np.random.Generator) -> EstimationResult:
+        config = self.config
+        trace = ConvergenceTrace()
+        rng_onion, rng_flow, rng_is = (as_generator(s) for s in spawn_generators(rng, 3))
+
+        # ---------------- Stage 1: onion pre-sampling ------------------- #
+        onion = OnionSampler(
+            n_shells=config.n_shells,
+            samples_per_shell=config.presample_per_shell,
+            stop_threshold=config.presample_stop_threshold,
+            max_simulations=min(config.presample_max_simulations, self.max_simulations),
+        )
+        onion_result = onion.sample(problem, seed=rng_onion)
+        failure_points = onion_result.failure_samples
+        # Importance weight of every archived failure point towards q*:
+        # log w = log p(x) - log q_draw(x), where q_draw is the distribution
+        # the point was actually sampled from (uniform-in-shell here, the
+        # defensive flow mixture during the IS rounds below).
+        if failure_points.size:
+            failure_log_weight = (
+                standard_normal_logpdf(failure_points)
+                - onion_result.failure_log_draw_density
+            )
+        else:
+            failure_log_weight = np.empty(0)
+
+        # ---------------- Stage 1b: boundary pull-in --------------------- #
+        pulled = self._pull_in_failures(problem, onion_result, rng_onion)
+        if pulled.shape[0]:
+            failure_points = np.concatenate([failure_points, pulled], axis=0)
+            # Pulled-in points are produced by a search, not a sampler; they
+            # are archived with a neutral draw density (the median of the
+            # onion draw densities) so their training weight is governed by
+            # their prior density — exactly the quantity the pull-in improves.
+            reference_density = (
+                float(np.median(onion_result.failure_log_draw_density))
+                if onion_result.n_failures
+                else 0.0
+            )
+            failure_log_weight = np.concatenate(
+                [
+                    failure_log_weight,
+                    standard_normal_logpdf(pulled) - reference_density,
+                ]
+            )
+
+        # ---------------- Stage 2: initial flow fit --------------------- #
+        flow: Optional[NeuralSplineFlow] = None
+        trained_on = 0
+        if failure_points.shape[0] >= config.min_failures_for_flow:
+            flow = NeuralSplineFlow(problem.dimension, config.flow, seed=rng_flow)
+            self._fit_flow(flow, failure_points, failure_log_weight, rng_flow,
+                           epochs=config.flow.epochs)
+            trained_on = failure_points.shape[0]
+
+        # ---------------- Stage 3: importance-sampling rounds ----------- #
+        accumulator = ImportanceAccumulator()
+        round_index = 0
+        converged = False
+        while problem.simulation_count < self.max_simulations:
+            remaining = self.max_simulations - problem.simulation_count
+            batch_size = min(config.is_batch_size, remaining)
+            if batch_size < 2:
+                break
+            samples, log_q = self._draw_proposal(flow, problem.dimension, batch_size, rng_is)
+            indicators = problem.indicator(samples)
+            log_p = standard_normal_logpdf(samples)
+            weights = importance_weights(log_p, log_q)
+            accumulator.update(indicators, weights)
+
+            failure_mask = indicators.astype(bool)
+            if np.any(failure_mask):
+                failure_points = np.concatenate([failure_points, samples[failure_mask]], axis=0)
+                failure_log_weight = np.concatenate(
+                    [failure_log_weight, log_p[failure_mask] - log_q[failure_mask]]
+                )
+
+            pf, fom = accumulator.snapshot()
+            trace.record(problem.simulation_count, pf, fom)
+            round_index += 1
+            if np.isfinite(fom) and fom <= self.fom_target and pf > 0:
+                converged = True
+                break
+
+            # Refine (or belatedly create) the flow once the failure archive
+            # has grown enough to change it materially.
+            n_failures = failure_points.shape[0]
+            due = round_index % config.refit_every == 0
+            enough = n_failures >= config.min_failures_for_flow
+            grown = n_failures >= trained_on * (1.0 + config.refit_growth_fraction)
+            if enough and due and (flow is None or grown):
+                if flow is None:
+                    flow = NeuralSplineFlow(problem.dimension, config.flow, seed=rng_flow)
+                    epochs = config.flow.epochs
+                else:
+                    epochs = config.refit_epochs
+                self._fit_flow(flow, failure_points, failure_log_weight, rng_flow, epochs=epochs)
+                trained_on = n_failures
+
+        pf, fom = accumulator.snapshot()
+        return self._make_result(
+            problem,
+            pf,
+            fom,
+            trace,
+            converged,
+            n_presamples=onion_result.n_simulations,
+            n_presample_failures=onion_result.n_failures,
+            n_is_failures=int(accumulator.n_failures),
+            flow_trained=flow is not None,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _pull_in_failures(
+        self,
+        problem: YieldProblem,
+        onion_result: OnionResult,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Walk a few onion failure points towards the origin, keeping every
+        intermediate failure point discovered on the way."""
+        config = self.config
+        if (
+            config.pullin_points == 0
+            or config.pullin_iterations == 0
+            or onion_result.n_failures == 0
+        ):
+            return np.empty((0, problem.dimension))
+
+        starts = self._select_diverse_points(
+            onion_result.failure_samples, config.pullin_points
+        )
+        collected = []
+        for start in starts:
+            remaining = self.max_simulations - problem.simulation_count
+            if remaining <= 0:
+                break
+            budget = min(config.pullin_iterations, remaining)
+            point = start.copy()
+            best_norm = float(np.linalg.norm(point))
+            step = 0.25
+            for _ in range(budget):
+                candidate = (1.0 - 0.05) * point + step * rng.standard_normal(point.size)
+                if float(np.linalg.norm(candidate)) >= best_norm:
+                    continue
+                if problem.indicator(candidate[None, :])[0]:
+                    point = candidate
+                    best_norm = float(np.linalg.norm(candidate))
+                    collected.append(point.copy())
+                else:
+                    step = max(0.1, 0.95 * step)
+        if not collected:
+            return np.empty((0, problem.dimension))
+        return np.asarray(collected)
+
+    @staticmethod
+    def _select_diverse_points(points: np.ndarray, n_select: int) -> np.ndarray:
+        """Pick up to ``n_select`` failure points with diverse directions.
+
+        The first pick is the minimum-norm point; each subsequent pick is the
+        point least aligned (smallest maximum cosine similarity) with the
+        picks so far, so that multiple failure regions each contribute a
+        pull-in trajectory.
+        """
+        n = points.shape[0]
+        if n <= n_select:
+            return points.copy()
+        norms = np.linalg.norm(points, axis=1)
+        directions = points / np.maximum(norms[:, None], 1e-12)
+        selected = [int(np.argmin(norms))]
+        while len(selected) < n_select:
+            similarity = directions @ directions[selected].T
+            worst_alignment = similarity.max(axis=1)
+            worst_alignment[selected] = np.inf
+            selected.append(int(np.argmin(worst_alignment)))
+        return points[selected].copy()
+
+    def _fit_flow(
+        self,
+        flow: NeuralSplineFlow,
+        failure_points: np.ndarray,
+        failure_log_weight: np.ndarray,
+        rng: np.random.Generator,
+        epochs: int,
+    ) -> None:
+        """(Re)fit the flow on the failure archive with tempered IS weights."""
+        config = self.config
+        n = failure_points.shape[0]
+        if n > config.max_training_points:
+            subset = rng.choice(n, size=config.max_training_points, replace=False)
+            points = failure_points[subset]
+            log_weight = failure_log_weight[subset]
+        else:
+            points = failure_points
+            log_weight = failure_log_weight
+
+        # The Gaussian envelope (ActNorm) is re-estimated at every fit from the
+        # *untempered* self-normalised importance weights — a cross-entropy
+        # style moment update towards q* ∝ p·I.  The update is smoothed with
+        # the previous envelope and the per-dimension scale is clipped, the
+        # same safeguards the adaptive-IS baselines use, so a round dominated
+        # by one heavy-weight sample cannot collapse or fling the proposal.
+        if flow.actnorm is not None:
+            envelope_weights = np.exp(log_weight - log_weight.max())
+            total = envelope_weights.sum()
+            if total > 0:
+                normalised = envelope_weights / total
+                target_mean = normalised @ points
+                target_std = np.sqrt(normalised @ (points - target_mean) ** 2)
+                target_std = np.clip(target_std, 0.5, 3.0)
+                if flow.actnorm.initialised:
+                    smoothing = 0.5
+                    old_mean = flow.actnorm.shift.data
+                    old_std = np.exp(flow.actnorm.log_scale.data)
+                    target_mean = (1 - smoothing) * old_mean + smoothing * target_mean
+                    target_std = (1 - smoothing) * old_std + smoothing * target_std
+                flow.actnorm.shift.data = target_mean
+                flow.actnorm.log_scale.data = np.log(target_std)
+                flow.actnorm.initialised = True
+
+        # The spline layers are trained by MLE with tempered weights (full
+        # reweighting would collapse the effective training set).
+        weights = tempered_weights(log_weight, min_ess_fraction=config.training_ess_fraction)
+        flow.fit(points, weights=weights, seed=rng, epochs=epochs)
+
+    def _draw_proposal(
+        self,
+        flow: Optional[NeuralSplineFlow],
+        dim: int,
+        batch_size: int,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one IS batch and its proposal log-density.
+
+        The proposal is a defensive mixture ``(1 - a) q_flow + a p`` so the
+        importance weights stay bounded even while the flow is inaccurate;
+        with no flow yet (too few failures found) the prior alone is used,
+        which degrades gracefully to plain Monte Carlo.
+        """
+        if flow is None:
+            samples = rng.standard_normal((batch_size, dim))
+            return samples, standard_normal_logpdf(samples)
+
+        fraction = self.config.prior_mixture_fraction
+        widening = self.config.proposal_widening
+        n_prior = int(round(fraction * batch_size))
+        n_flow = batch_size - n_prior
+        parts: List[np.ndarray] = []
+        if n_flow > 0:
+            parts.append(flow.sample(n_flow, seed=rng, base_scale=widening))
+        if n_prior > 0:
+            parts.append(rng.standard_normal((n_prior, dim)))
+        samples = np.concatenate(parts, axis=0)
+
+        log_flow = flow.log_prob(samples, base_scale=widening)
+        log_prior = standard_normal_logpdf(samples)
+        if fraction <= 0:
+            return samples, log_flow
+        # log of the mixture density.
+        stacked = np.stack(
+            [np.log1p(-fraction) + log_flow, np.log(fraction) + log_prior], axis=0
+        )
+        max_term = stacked.max(axis=0)
+        log_q = max_term + np.log(np.sum(np.exp(stacked - max_term), axis=0))
+        return samples, log_q

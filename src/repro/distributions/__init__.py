@@ -1,0 +1,42 @@
+"""Probability distributions used across the estimators.
+
+These are plain-numpy (no autodiff) densities and samplers:
+
+* :class:`~repro.distributions.normal.MultivariateNormal` — the process
+  variation prior ``p(x) = N(0, I)`` and the shifted/scaled proposals used by
+  the norm-minimisation family of importance samplers.
+* :class:`~repro.distributions.mixture.GaussianMixture` — finite mixture
+  proposals (HSCS, ACS and the optimal-manifold analysis).
+* :class:`~repro.distributions.vmf.VonMisesFisher` — directional component
+  used by the non-Gaussian adaptive IS discussed in the related work.
+* :class:`~repro.distributions.kde.GaussianKDE` — the kernel density
+  estimator used to visualise onion samples in Fig. 1.
+* :mod:`~repro.distributions.radial` — the chi distribution of ``‖x‖`` for a
+  D-dimensional standard normal, which onion sampling uses to carve the
+  parameter space into equal-probability hyperspherical shells.
+"""
+
+from repro.distributions.normal import MultivariateNormal, standard_normal_logpdf
+from repro.distributions.mixture import GaussianMixture
+from repro.distributions.vmf import VonMisesFisher
+from repro.distributions.kde import GaussianKDE
+from repro.distributions.radial import (
+    RadialDistribution,
+    log_shell_volume,
+    sample_uniform_ball,
+    sample_uniform_shell,
+    sample_uniform_sphere_surface,
+)
+
+__all__ = [
+    "MultivariateNormal",
+    "standard_normal_logpdf",
+    "GaussianMixture",
+    "VonMisesFisher",
+    "GaussianKDE",
+    "RadialDistribution",
+    "log_shell_volume",
+    "sample_uniform_ball",
+    "sample_uniform_shell",
+    "sample_uniform_sphere_surface",
+]

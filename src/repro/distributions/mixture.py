@@ -1,0 +1,120 @@
+"""Finite Gaussian mixtures.
+
+Mixtures of mean-shifted normals are the proposal family of the clustering
+importance samplers (HSCS, ACS) and the finite-component stand-in for the
+paper's infinite-mixture *optimal manifold* analysis (Eq. (7)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.distributions.normal import MultivariateNormal
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_samples_2d
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class GaussianMixture:
+    """Mixture of isotropic-or-diagonal Gaussians.
+
+    Parameters
+    ----------
+    means:
+        Component means, shape ``(M, dim)``.
+    stds:
+        Scalar, per-component scalar (shape ``(M,)``), or per-component
+        diagonal (shape ``(M, dim)``) standard deviations.
+    weights:
+        Mixture weights, shape ``(M,)``; normalised internally.
+    """
+
+    def __init__(
+        self,
+        means: np.ndarray,
+        stds: Union[float, np.ndarray] = 1.0,
+        weights: Optional[np.ndarray] = None,
+    ):
+        means = np.asarray(means, dtype=float)
+        if means.ndim != 2 or means.shape[0] == 0:
+            raise ValueError(f"means must have shape (M, dim), got {means.shape}")
+        self.means = means
+        self.n_components, self.dim = means.shape
+
+        stds_arr = np.asarray(stds, dtype=float)
+        if stds_arr.ndim == 0:
+            stds_arr = np.full((self.n_components, self.dim), float(stds_arr))
+        elif stds_arr.ndim == 1:
+            if stds_arr.shape[0] != self.n_components:
+                raise ValueError(
+                    f"per-component stds must have shape ({self.n_components},)"
+                )
+            stds_arr = np.repeat(stds_arr[:, None], self.dim, axis=1)
+        if stds_arr.shape != (self.n_components, self.dim):
+            raise ValueError(
+                f"stds must broadcast to {(self.n_components, self.dim)}, got {stds_arr.shape}"
+            )
+        if np.any(stds_arr <= 0):
+            raise ValueError("stds must be strictly positive")
+        self.stds = stds_arr
+
+        if weights is None:
+            weights = np.full(self.n_components, 1.0 / self.n_components)
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (self.n_components,):
+            raise ValueError(f"weights must have shape ({self.n_components},)")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum to a positive value")
+        self.weights = weights / weights.sum()
+
+    # ------------------------------------------------------------------ #
+    def component_log_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Per-component log-densities, shape ``(n, M)``."""
+        x = check_samples_2d(x, "x", dim=self.dim)
+        z = (x[:, None, :] - self.means[None, :, :]) / self.stds[None, :, :]
+        log_norm = -0.5 * self.dim * _LOG_2PI - np.sum(np.log(self.stds), axis=1)
+        return log_norm[None, :] - 0.5 * np.sum(z**2, axis=2)
+
+    def log_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Mixture log-density of each row of ``x``."""
+        component = self.component_log_pdf(x) + np.log(self.weights)[None, :]
+        max_term = np.max(component, axis=1, keepdims=True)
+        return (max_term + np.log(np.sum(np.exp(component - max_term), axis=1, keepdims=True)))[
+            :, 0
+        ]
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_pdf(x))
+
+    def responsibilities(self, x: np.ndarray) -> np.ndarray:
+        """Posterior component membership probabilities, shape ``(n, M)``."""
+        log_joint = self.component_log_pdf(x) + np.log(self.weights)[None, :]
+        log_joint -= log_joint.max(axis=1, keepdims=True)
+        joint = np.exp(log_joint)
+        return joint / joint.sum(axis=1, keepdims=True)
+
+    def sample(self, n: int, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``n`` samples from the mixture."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        rng = as_generator(seed)
+        if n == 0:
+            return np.empty((0, self.dim))
+        counts = rng.multinomial(n, self.weights)
+        chunks: List[np.ndarray] = []
+        for mean, std, count in zip(self.means, self.stds, counts):
+            if count == 0:
+                continue
+            chunks.append(mean + std * rng.standard_normal((count, self.dim)))
+        samples = np.concatenate(chunks, axis=0)
+        return samples[rng.permutation(n)]
+
+    def components(self) -> List[MultivariateNormal]:
+        """Return the mixture components as individual normals."""
+        return [MultivariateNormal(m, s) for m, s in zip(self.means, self.stds)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GaussianMixture(M={self.n_components}, dim={self.dim})"

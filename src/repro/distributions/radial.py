@@ -1,0 +1,177 @@
+"""Radial (chi) distribution of ``‖x‖`` under the standard-normal prior.
+
+Onion sampling (Section III-C of the paper) divides the variation space into
+``K`` hollow hyperspheres whose radii satisfy ``F(r_k) = k / K`` where
+``F(r) = P(‖x‖ < r)`` under ``p(x) = N(0, I_D)``.  For a D-dimensional
+standard normal, ``‖x‖`` follows a chi distribution with D degrees of
+freedom, whose CDF and inverse CDF are available in closed form through the
+regularised incomplete gamma function — this is the "easy to compute
+analytically" inverse the paper relies on.
+
+The module also provides the uniform samplers inside balls, shells and on
+sphere surfaces that the onion sampler and the clustering baselines use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import special
+
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_positive, check_probability
+
+
+class RadialDistribution:
+    """Distribution of the Euclidean norm of a D-dimensional standard normal."""
+
+    def __init__(self, dim: int):
+        self.dim = check_integer(dim, "dim", minimum=1)
+        self._half_dim = 0.5 * self.dim
+
+    def cdf(self, r: np.ndarray) -> np.ndarray:
+        """``P(‖x‖ <= r)`` for ``x ~ N(0, I_D)``."""
+        r = np.asarray(r, dtype=float)
+        if np.any(r < 0):
+            raise ValueError("radii must be non-negative")
+        return special.gammainc(self._half_dim, 0.5 * r**2)
+
+    def inverse_cdf(self, p: np.ndarray) -> np.ndarray:
+        """Radius ``r`` such that ``P(‖x‖ <= r) = p``."""
+        p = np.asarray(p, dtype=float)
+        if np.any((p < 0) | (p > 1)):
+            raise ValueError("probabilities must lie in [0, 1]")
+        return np.sqrt(2.0 * special.gammaincinv(self._half_dim, p))
+
+    def pdf(self, r: np.ndarray) -> np.ndarray:
+        """Density of the chi distribution with ``dim`` degrees of freedom."""
+        r = np.asarray(r, dtype=float)
+        log_pdf = (
+            (self.dim - 1) * np.log(np.where(r > 0, r, 1.0))
+            - 0.5 * r**2
+            - (self._half_dim - 1.0) * np.log(2.0)
+            - special.gammaln(self._half_dim)
+        )
+        out = np.exp(log_pdf)
+        return np.where(r > 0, out, 0.0 if self.dim > 1 else out)
+
+    def shell_radii(self, n_shells: int, tail_probability: float = 1e-7) -> np.ndarray:
+        """Radii ``r_1 < ... < r_K`` of ``K`` equal-probability shells.
+
+        Shell ``k < K`` ends at the ``k/K`` quantile of ``‖x‖``.  The
+        outermost shell nominally extends to infinity; its outer radius is
+        truncated at the ``1 - tail_probability`` quantile so that uniform
+        sampling inside it remains possible while the neglected prior mass
+        (``tail_probability``) is far below the failure levels of interest.
+        """
+        n_shells = check_integer(n_shells, "n_shells", minimum=1)
+        check_probability(tail_probability, "tail_probability")
+        probabilities = np.arange(1, n_shells + 1) / n_shells
+        probabilities[-1] = max(1.0 - tail_probability, probabilities[-1] - 0.5 / n_shells)
+        return self.inverse_cdf(probabilities)
+
+    def shell_probability(self, r_inner: float, r_outer: float) -> float:
+        """Prior probability mass of the shell ``r_inner < ‖x‖ <= r_outer``."""
+        r_inner = check_positive(r_inner, "r_inner", strict=False)
+        r_outer = check_positive(r_outer, "r_outer", strict=False)
+        if r_outer < r_inner:
+            raise ValueError("r_outer must be >= r_inner")
+        return float(self.cdf(np.array(r_outer)) - self.cdf(np.array(r_inner)))
+
+    def typical_radius(self) -> float:
+        """Median of ``‖x‖`` — the radius where the prior mass concentrates."""
+        return float(self.inverse_cdf(np.array(0.5)))
+
+
+def log_shell_volume(dim: int, r_inner: float, r_outer: float) -> float:
+    """Log-volume of the hollow hypersphere ``r_inner < ‖x‖ <= r_outer``.
+
+    Computed in log space so it stays finite for the ~1000-dimensional SRAM
+    problems, where the volumes themselves overflow ``float64`` spectacularly.
+    """
+    dim = check_integer(dim, "dim", minimum=1)
+    r_inner = check_positive(r_inner, "r_inner", strict=False)
+    r_outer = check_positive(r_outer, "r_outer")
+    if r_outer <= r_inner:
+        raise ValueError(f"r_outer ({r_outer}) must exceed r_inner ({r_inner})")
+    log_ball_coefficient = 0.5 * dim * np.log(np.pi) - special.gammaln(0.5 * dim + 1.0)
+    if r_inner > 0:
+        ratio = np.exp(dim * (np.log(r_inner) - np.log(r_outer)))
+        log_radial_term = dim * np.log(r_outer) + np.log1p(-min(ratio, 1.0 - 1e-300))
+    else:
+        log_radial_term = dim * np.log(r_outer)
+    return float(log_ball_coefficient + log_radial_term)
+
+
+def sample_uniform_sphere_surface(
+    n: int, dim: int, radius: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample ``n`` points uniformly on the sphere of the given radius."""
+    n = check_integer(n, "n", minimum=0)
+    dim = check_integer(dim, "dim", minimum=1)
+    radius = check_positive(radius, "radius")
+    rng = as_generator(seed)
+    if n == 0:
+        return np.empty((0, dim))
+    directions = rng.standard_normal((n, dim))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    # A standard normal vector is zero with probability zero, but guard anyway.
+    norms[norms == 0] = 1.0
+    return radius * directions / norms
+
+
+def sample_uniform_ball(
+    n: int, dim: int, radius: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Sample ``n`` points uniformly inside the ball of the given radius."""
+    n = check_integer(n, "n", minimum=0)
+    dim = check_integer(dim, "dim", minimum=1)
+    radius = check_positive(radius, "radius")
+    rng = as_generator(seed)
+    if n == 0:
+        return np.empty((0, dim))
+    surface = sample_uniform_sphere_surface(n, dim, radius=1.0, seed=rng)
+    radii = radius * rng.uniform(size=(n, 1)) ** (1.0 / dim)
+    return surface * radii
+
+
+def sample_uniform_shell(
+    n: int,
+    dim: int,
+    r_inner: float,
+    r_outer: float,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Sample ``n`` points uniformly (by volume) in a hollow hypersphere.
+
+    This is the per-shell sampler of onion sampling: the radius is drawn so
+    that the point density per unit volume is constant between ``r_inner``
+    and ``r_outer``, which "allows us to effectively explore the domain for
+    failure regions" as the paper puts it.
+    """
+    n = check_integer(n, "n", minimum=0)
+    dim = check_integer(dim, "dim", minimum=1)
+    r_inner = check_positive(r_inner, "r_inner", strict=False)
+    r_outer = check_positive(r_outer, "r_outer")
+    if r_outer <= r_inner:
+        raise ValueError(f"r_outer ({r_outer}) must exceed r_inner ({r_inner})")
+    rng = as_generator(seed)
+    if n == 0:
+        return np.empty((0, dim))
+    surface = sample_uniform_sphere_surface(n, dim, radius=1.0, seed=rng)
+    u = rng.uniform(size=(n, 1))
+    # Inverse-CDF of the radius under a volume-uniform shell distribution is
+    # (r_in^D + u (r_out^D - r_in^D))^(1/D).  For the high-dimensional SRAM
+    # problems (D ~ 1000) the powers overflow, so the expression is evaluated
+    # in log space:  r = exp( (1/D) * [D log r_out + log(u + (1-u) e^{D(log
+    # r_in - log r_out)})] ).
+    log_outer = dim * np.log(r_outer)
+    if r_inner > 0:
+        ratio = np.exp(dim * (np.log(r_inner) - np.log(r_outer)))
+    else:
+        ratio = 0.0
+    inner_term = np.maximum(u + (1.0 - u) * ratio, np.finfo(float).tiny)
+    log_radii = (log_outer + np.log(inner_term)) / dim
+    radii = np.exp(log_radii)
+    return surface * radii

@@ -1,0 +1,44 @@
+"""Normalizing flows: the Neural Spline Flow proposal distribution of OPTIMIS.
+
+The flow maps a standard-normal base variable ``z`` through a stack of
+monotonic rational-quadratic spline coupling layers (Durkan et al., NeurIPS
+2019) to produce samples ``x`` whose density approximates the optimal
+importance-sampling proposal ``q*(x) = p(x) I(x) / Pf``.  Training maximises
+the likelihood of the failure samples produced by onion sampling.
+
+Components
+----------
+``splines``
+    The monotonic rational-quadratic spline transform (forward, inverse and
+    log-absolute-determinant), differentiable in both its inputs and its
+    parameters.
+``coupling``
+    Coupling layers whose conditioner network produces per-dimension spline
+    parameters from the identity half of the input.
+``permutations``
+    Fixed permutation/reversal layers inserted between couplings so every
+    dimension is eventually transformed.
+``flow``
+    :class:`NeuralSplineFlow` — composition, log-density, sampling and MLE
+    fitting.
+``base_dist``
+    The standard-normal base distribution.
+"""
+
+from repro.flows.splines import rational_quadratic_spline, DEFAULT_MIN_BIN_WIDTH
+from repro.flows.coupling import RationalQuadraticCoupling, AffineCoupling
+from repro.flows.permutations import Permutation, Reverse
+from repro.flows.base_dist import StandardNormalBase
+from repro.flows.flow import NeuralSplineFlow, FlowConfig
+
+__all__ = [
+    "rational_quadratic_spline",
+    "DEFAULT_MIN_BIN_WIDTH",
+    "RationalQuadraticCoupling",
+    "AffineCoupling",
+    "Permutation",
+    "Reverse",
+    "StandardNormalBase",
+    "NeuralSplineFlow",
+    "FlowConfig",
+]

@@ -1,0 +1,57 @@
+"""Fixed permutation layers inserted between coupling transforms.
+
+A single coupling layer only transforms half of the coordinates, so flows
+alternate couplings with permutations (or simple reversals) to ensure every
+dimension is transformed and conditioned on every other dimension after a few
+layers.  Permutations are volume preserving: their log-determinant is zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Module
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Permutation(Module):
+    """Apply a fixed permutation of the feature dimension."""
+
+    def __init__(self, permutation: np.ndarray):
+        super().__init__()
+        permutation = np.asarray(permutation, dtype=int)
+        if permutation.ndim != 1:
+            raise ValueError("permutation must be 1-D")
+        if sorted(permutation.tolist()) != list(range(permutation.size)):
+            raise ValueError("permutation must contain each index exactly once")
+        self.permutation = permutation
+        self.inverse_permutation = np.argsort(permutation)
+        self.dim = permutation.size
+
+    @classmethod
+    def random(cls, dim: int, seed: SeedLike = None) -> "Permutation":
+        """A uniformly random (but fixed once constructed) permutation."""
+        rng = as_generator(seed)
+        return cls(rng.permutation(dim))
+
+    def forward(self, z: Tensor) -> Tuple[Tensor, Tensor]:
+        """Generative direction ``z -> x`` (permute columns)."""
+        out = z[:, self.permutation]
+        return out, Tensor(np.zeros(out.shape[0]))
+
+    def inverse(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Normalising direction ``x -> z`` (undo the permutation)."""
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        out = x[:, self.inverse_permutation]
+        return out, Tensor(np.zeros(out.shape[0]))
+
+
+class Reverse(Permutation):
+    """Reverse the feature order — the cheapest useful permutation."""
+
+    def __init__(self, dim: int):
+        super().__init__(np.arange(dim)[::-1].copy())

@@ -1,0 +1,233 @@
+"""Monotonic rational-quadratic spline transforms.
+
+This is the element-wise transform at the heart of Neural Spline Flows
+(Durkan, Bekasov, Murray, Papamakarios, 2019).  Inside a bounded interval
+``[-B, B]`` the transform is a piecewise rational-quadratic monotone spline
+whose bin widths, bin heights and internal knot derivatives are produced by a
+conditioner network; outside the interval it is the identity (linear tails),
+so the transform is a bijection on all of ``R``.
+
+Both the forward map, its inverse and the log-absolute-determinant are
+implemented with :class:`repro.autodiff.Tensor` operations so gradients flow
+to the spline parameters *and* to the inputs, which is required when several
+coupling layers are stacked.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.autodiff import Tensor, softmax, softplus, where
+
+DEFAULT_MIN_BIN_WIDTH = 1e-3
+DEFAULT_MIN_BIN_HEIGHT = 1e-3
+DEFAULT_MIN_DERIVATIVE = 1e-3
+
+TensorLike = Union[Tensor, np.ndarray]
+
+
+def _ensure_tensor(value: TensorLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _cumsum_last(x: Tensor) -> Tensor:
+    """Differentiable cumulative sum along the last axis.
+
+    Implemented as a matmul with an upper-triangular matrix of ones, which
+    keeps the operation inside the autodiff graph without a dedicated op.
+    """
+    k = x.shape[-1]
+    lower = np.tril(np.ones((k, k)))
+    # (..., k) @ (k, k): out_j = sum_i x_i * lower[i, j] -> need lower[i, j] = 1 for i <= j
+    return x @ Tensor(lower.T)
+
+
+def _normalise_bins(
+    unnormalised: Tensor, total: float, min_size: float, n_bins: int
+) -> Tensor:
+    """Convert unnormalised logits into bin sizes summing to ``total``.
+
+    Each bin is guaranteed a minimum size so the spline stays invertible and
+    its log-determinant stays finite.
+    """
+    probs = softmax(unnormalised, axis=-1)
+    return probs * (total - n_bins * min_size * total) + min_size * total
+
+
+def rational_quadratic_spline(
+    inputs: TensorLike,
+    unnormalised_widths: TensorLike,
+    unnormalised_heights: TensorLike,
+    unnormalised_derivatives: TensorLike,
+    inverse: bool = False,
+    tail_bound: float = 5.0,
+    min_bin_width: float = DEFAULT_MIN_BIN_WIDTH,
+    min_bin_height: float = DEFAULT_MIN_BIN_HEIGHT,
+    min_derivative: float = DEFAULT_MIN_DERIVATIVE,
+) -> Tuple[Tensor, Tensor]:
+    """Apply a monotonic rational-quadratic spline element-wise.
+
+    Parameters
+    ----------
+    inputs:
+        Values to transform, any shape ``S`` (flattened internally).
+    unnormalised_widths, unnormalised_heights:
+        Parameter tensors of shape ``S + (K,)`` where ``K`` is the number of
+        spline bins; converted to positive bin sizes with a softmax.
+    unnormalised_derivatives:
+        Shape ``S + (K + 1,)``; converted to positive knot derivatives with a
+        softplus.  The two boundary derivatives are forced to 1 so the spline
+        meets the identity tails smoothly.
+    inverse:
+        When ``True``, apply the inverse transform (used for density
+        evaluation of data).
+    tail_bound:
+        Half-width ``B`` of the spline interval; outside ``[-B, B]`` the
+        transform is the identity with zero log-determinant.
+
+    Returns
+    -------
+    (outputs, log_abs_det):
+        Transformed values and element-wise log absolute determinant of the
+        applied map (the inverse map's log-determinant when ``inverse``).
+    """
+    inputs = _ensure_tensor(inputs)
+    unnormalised_widths = _ensure_tensor(unnormalised_widths)
+    unnormalised_heights = _ensure_tensor(unnormalised_heights)
+    unnormalised_derivatives = _ensure_tensor(unnormalised_derivatives)
+
+    n_bins = unnormalised_widths.shape[-1]
+    if unnormalised_heights.shape[-1] != n_bins:
+        raise ValueError("widths and heights must have the same number of bins")
+    if unnormalised_derivatives.shape[-1] != n_bins + 1:
+        raise ValueError("derivatives must have n_bins + 1 entries")
+    if tail_bound <= 0:
+        raise ValueError(f"tail_bound must be positive, got {tail_bound}")
+    if min_bin_width * n_bins >= 1.0 or min_bin_height * n_bins >= 1.0:
+        raise ValueError("minimum bin size too large for the number of bins")
+
+    original_shape = inputs.shape
+    m = int(np.prod(original_shape)) if original_shape else 1
+    flat_inputs = inputs.reshape((m,))
+    widths_logits = unnormalised_widths.reshape((m, n_bins))
+    heights_logits = unnormalised_heights.reshape((m, n_bins))
+    deriv_logits = unnormalised_derivatives.reshape((m, n_bins + 1))
+
+    total = 2.0 * tail_bound
+
+    # Bin sizes and knot positions.
+    widths = _normalise_bins(widths_logits, total, min_bin_width, n_bins)
+    heights = _normalise_bins(heights_logits, total, min_bin_height, n_bins)
+    cumwidths = _cumsum_last(widths) - tail_bound  # (m, K); right knot of each bin
+    cumheights = _cumsum_last(heights) - tail_bound
+
+    # Knot derivatives: strictly positive, boundaries pinned to 1.
+    derivatives = softplus(deriv_logits) + min_derivative
+    boundary_mask = np.zeros((1, n_bins + 1), dtype=bool)
+    boundary_mask[0, 0] = True
+    boundary_mask[0, -1] = True
+    derivatives = where(
+        np.broadcast_to(boundary_mask, (m, n_bins + 1)),
+        Tensor(np.ones((m, n_bins + 1))),
+        derivatives,
+    )
+
+    inside = np.abs(flat_inputs.data) < tail_bound
+    # Clamp outside points into the interior so the spline arithmetic below
+    # stays finite; their outputs are replaced by the identity afterwards.
+    clamp_bound = tail_bound * (1.0 - 1e-6)
+    safe_inputs = flat_inputs.clip(-clamp_bound, clamp_bound)
+
+    # Locate the bin of each element (discrete, done on raw values).
+    knots_x = np.concatenate(
+        [np.full((m, 1), -tail_bound), cumwidths.data], axis=1
+    )  # (m, K + 1)
+    knots_y = np.concatenate(
+        [np.full((m, 1), -tail_bound), cumheights.data], axis=1
+    )
+    if inverse:
+        reference = knots_y
+    else:
+        reference = knots_x
+    # bin index k such that reference[k] <= value < reference[k + 1]
+    values = safe_inputs.data
+    bin_idx = (
+        np.sum(reference[:, 1:-1] <= values[:, None], axis=1).astype(int)
+    )
+    bin_idx = np.clip(bin_idx, 0, n_bins - 1)
+    rows = np.arange(m)
+
+    # Gather the per-element bin quantities (all differentiable gathers).
+    left_x = _gather_with_boundary(cumwidths, rows, bin_idx, -tail_bound)
+    left_y = _gather_with_boundary(cumheights, rows, bin_idx, -tail_bound)
+    bin_width = widths[rows, bin_idx]
+    bin_height = heights[rows, bin_idx]
+    delta = bin_height / bin_width  # average slope s_k
+    d_left = derivatives[rows, bin_idx]
+    d_right = derivatives[rows, bin_idx + 1]
+
+    if inverse:
+        y_rel = safe_inputs - left_y
+        term = y_rel * (d_left + d_right - delta * 2.0)
+        a = bin_height * (delta - d_left) + term
+        b = bin_height * d_left - term
+        c = (Tensor(np.zeros(m)) - delta) * y_rel
+        discriminant = b * b - a * c * 4.0
+        # Monotonicity of the spline guarantees a non-negative discriminant;
+        # numerical noise can push it marginally below zero.
+        discriminant = discriminant.clip(0.0, np.inf)
+        denominator_root = (Tensor(np.zeros(m)) - b) - discriminant.sqrt()
+        # Guard against division by ~0 (happens only for degenerate params).
+        safe_root = where(
+            np.abs(denominator_root.data) < 1e-12,
+            Tensor(np.full(m, -1e-12)),
+            denominator_root,
+        )
+        xi = (c * 2.0) / safe_root
+        xi = xi.clip(0.0, 1.0)
+        outputs_inside = left_x + xi * bin_width
+
+        one_minus_xi = Tensor(np.ones(m)) - xi
+        xi_1mxi = xi * one_minus_xi
+        denominator = delta + (d_left + d_right - delta * 2.0) * xi_1mxi
+        derivative_numerator = (delta * delta) * (
+            d_right * xi * xi + delta * 2.0 * xi_1mxi + d_left * one_minus_xi * one_minus_xi
+        )
+        log_det_inside = (
+            Tensor(np.zeros(m))
+            - (derivative_numerator.log() - denominator.log() * 2.0)
+        )
+    else:
+        xi = (safe_inputs - left_x) / bin_width
+        xi = xi.clip(0.0, 1.0)
+        one_minus_xi = Tensor(np.ones(m)) - xi
+        xi_1mxi = xi * one_minus_xi
+        numerator = bin_height * (delta * xi * xi + d_left * xi_1mxi)
+        denominator = delta + (d_left + d_right - delta * 2.0) * xi_1mxi
+        outputs_inside = left_y + numerator / denominator
+        derivative_numerator = (delta * delta) * (
+            d_right * xi * xi + delta * 2.0 * xi_1mxi + d_left * one_minus_xi * one_minus_xi
+        )
+        log_det_inside = derivative_numerator.log() - denominator.log() * 2.0
+
+    outputs = where(inside, outputs_inside, flat_inputs)
+    log_abs_det = where(inside, log_det_inside, Tensor(np.zeros(m)))
+    return outputs.reshape(original_shape), log_abs_det.reshape(original_shape)
+
+
+def _gather_with_boundary(
+    cumulative: Tensor, rows: np.ndarray, bin_idx: np.ndarray, boundary: float
+) -> Tensor:
+    """Return the left knot for each element.
+
+    ``cumulative`` holds the *right* knot of every bin, so bin 0's left knot
+    is the fixed boundary ``-B`` and bin ``k>0``'s left knot is
+    ``cumulative[k - 1]``.
+    """
+    m = rows.shape[0]
+    shifted_idx = np.maximum(bin_idx - 1, 0)
+    gathered = cumulative[rows, shifted_idx]
+    is_first_bin = bin_idx == 0
+    return where(is_first_bin, Tensor(np.full(m, boundary)), gathered)

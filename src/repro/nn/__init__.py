@@ -1,0 +1,32 @@
+"""Minimal neural-network layer library on top of :mod:`repro.autodiff`.
+
+Provides exactly the components the paper's method needs: fully-connected
+conditioner networks for the Neural Spline Flow (4-layer/432-unit and
+7-layer/600-unit MLPs in the paper's experiments), ReLU activations and the
+Adam optimiser used for maximum-likelihood training.
+"""
+
+from repro.nn.layers import Module, Linear, ReLU, Tanh, Sequential, Parameter
+from repro.nn.mlp import MLP
+from repro.nn.optim import Adam, SGD, Optimizer
+from repro.nn.init import xavier_uniform, kaiming_uniform, zeros, normal_
+from repro.nn.train import train_mle, TrainingHistory
+
+__all__ = [
+    "Module",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "Parameter",
+    "MLP",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "xavier_uniform",
+    "kaiming_uniform",
+    "zeros",
+    "normal_",
+    "train_mle",
+    "TrainingHistory",
+]

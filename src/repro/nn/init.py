@@ -1,0 +1,42 @@
+"""Weight initialisers.
+
+The flow conditioners are trained from small sample budgets (a few thousand
+failure points), so sensible initialisation matters: Xavier/Kaiming schemes
+keep the pre-activation scale stable through the 4- and 7-layer MLPs the
+paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+def xavier_uniform(
+    shape: tuple, gain: float = 1.0, seed: SeedLike = None
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` weight."""
+    rng = as_generator(seed)
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_uniform(shape: tuple, seed: SeedLike = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation suited to ReLU networks."""
+    rng = as_generator(seed)
+    fan_in = shape[0]
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    """All-zero initialisation (used for biases and final-layer weights)."""
+    return np.zeros(shape)
+
+
+def normal_(shape: tuple, std: float = 0.01, seed: SeedLike = None) -> np.ndarray:
+    """Small-variance normal initialisation."""
+    rng = as_generator(seed)
+    return rng.normal(0.0, std, size=shape)

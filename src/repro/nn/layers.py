@@ -1,0 +1,170 @@
+"""Core layer abstractions: :class:`Module`, :class:`Linear`, activations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff import Tensor
+from repro.nn.init import kaiming_uniform, zeros
+from repro.utils.rng import SeedLike, as_generator
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+        # Parameters must stay trainable even when created inside no_grad().
+        self.requires_grad = True
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` objects and child ``Module`` objects
+    as attributes; :meth:`parameters` collects them recursively, which is all
+    the optimiser needs.
+    """
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        params: List[Parameter] = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple]:
+        """Yield ``(name, parameter)`` pairs with dotted hierarchical names."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by hierarchical name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=float)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} vs {param.data.shape}"
+                )
+            param.data = value.copy()
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, x) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output widths.
+    bias:
+        Whether to include the additive bias term.
+    seed:
+        Seed controlling the Kaiming-uniform weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = as_generator(seed)
+        self.weight = Parameter(kaiming_uniform((in_features, out_features), seed=rng))
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(zeros((out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic-tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, layers: Sequence[Module]):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(self.layers):
+            setattr(self, f"layer_{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,113 @@
+"""Multi-layer perceptron used as the flow conditioner and surrogate backbone.
+
+The paper's experimental section specifies a 4-layer MLP with 432 hidden
+units for the 108-dimensional SRAM problem and a 7-layer MLP with 600 hidden
+units for the 569- and 1093-dimensional problems, with ReLU activations and
+Adam optimisation; :class:`MLP` is that component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.autodiff import Tensor
+from repro.nn.layers import Linear, Module, ReLU, Tanh
+from repro.utils.rng import SeedLike, spawn_generators
+
+
+_ACTIVATIONS = {"relu": ReLU, "tanh": Tanh}
+
+
+class MLP(Module):
+    """Fully-connected network with a configurable stack of hidden layers.
+
+    Parameters
+    ----------
+    in_features:
+        Input width.
+    hidden_sizes:
+        Width of each hidden layer, e.g. ``[432] * 4``.
+    out_features:
+        Output width.
+    activation:
+        ``"relu"`` (paper default) or ``"tanh"``.
+    seed:
+        Seed controlling initialisation of every layer.
+    zero_init_output:
+        When ``True`` the final linear layer starts at zero, which makes a
+        freshly-initialised spline flow the identity map — a useful property
+        when the flow must start close to the base standard normal.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        out_features: int,
+        activation: str = "relu",
+        seed: SeedLike = None,
+        zero_init_output: bool = False,
+    ):
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; choose from {sorted(_ACTIVATIONS)}"
+            )
+        hidden_sizes = list(hidden_sizes)
+        if any(h <= 0 for h in hidden_sizes):
+            raise ValueError("hidden_sizes must all be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.hidden_sizes = hidden_sizes
+
+        n_layers = len(hidden_sizes) + 1
+        rngs = spawn_generators(seed, n_layers)
+        act_cls = _ACTIVATIONS[activation]
+
+        layers: List[Module] = []
+        widths = [in_features] + hidden_sizes
+        for i in range(len(hidden_sizes)):
+            layers.append(Linear(widths[i], widths[i + 1], seed=rngs[i]))
+            layers.append(act_cls())
+        output_layer = Linear(widths[-1], out_features, seed=rngs[-1])
+        if zero_init_output:
+            output_layer.weight.data[...] = 0.0
+            if output_layer.bias is not None:
+                output_layer.bias.data[...] = 0.0
+        layers.append(output_layer)
+
+        self.layers = layers
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer_{i}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+    @classmethod
+    def paper_conditioner(
+        cls,
+        in_features: int,
+        out_features: int,
+        problem_dimension: int,
+        seed: SeedLike = None,
+    ) -> "MLP":
+        """Build the conditioner sized as in the paper's experiments.
+
+        The 108-dimensional case uses 4 layers of 432 units; the 569- and
+        1093-dimensional cases use 7 layers of 600 units.
+        """
+        if problem_dimension <= 108:
+            hidden: List[int] = [432] * 4
+        else:
+            hidden = [600] * 7
+        return cls(
+            in_features,
+            hidden,
+            out_features,
+            activation="relu",
+            seed=seed,
+            zero_init_output=True,
+        )

@@ -1,0 +1,118 @@
+"""Gradient-based optimisers: Adam (paper default) and SGD."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a list of parameters to update."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, parameters: Sequence[Parameter], lr: float = 1e-2, momentum: float = 0.0
+    ):
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.lr * param.grad
+            param.data = param.data + velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba), the paper's training algorithm.
+
+    Parameters
+    ----------
+    parameters:
+        Parameters to optimise.
+    lr:
+        Step size.
+    betas:
+        Exponential decay rates for the first and second moment estimates.
+    eps:
+        Numerical stabiliser added to the denominator.
+    weight_decay:
+        Optional L2 penalty applied directly to the gradients.
+    grad_clip:
+        Optional elementwise gradient clipping bound; training a flow by MLE
+        on a handful of failure samples occasionally produces large spline
+        gradients, and clipping keeps the optimisation stable.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        grad_clip: float | None = 10.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must lie in [0, 1), got {betas}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias_correction1 = 1.0 - self.beta1**t
+        bias_correction2 = 1.0 - self.beta2**t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if not np.all(np.isfinite(grad)):
+                # Skip pathological updates rather than poisoning the moments.
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.grad_clip is not None:
+                grad = np.clip(grad, -self.grad_clip, self.grad_clip)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,60 @@
+"""Yield-estimation problems: the benchmark circuits and analytic test cases.
+
+A *problem* bundles the black-box performance function, the designer
+thresholds and (when available) a reference failure probability, behind the
+single interface every estimator consumes (:class:`~repro.problems.base.YieldProblem`).
+
+* :mod:`~repro.problems.toy` — the five 2-D failure-boundary examples of
+  Fig. 1 (single region, multiple regions, open boundaries, non-centred
+  regions), each with an analytically known failure probability.
+* :mod:`~repro.problems.synthetic` — analytic high-dimensional problems
+  (linear, quadratic, multi-region) with closed-form failure probabilities,
+  used by the test-suite to validate estimator correctness in any dimension.
+* :mod:`~repro.problems.sram_problems` — the 108-, 569- and 1093-dimensional
+  SRAM column/array problems built on the SPICE-substitute simulator.
+* :mod:`~repro.problems.registry` — name-based lookup used by the benchmark
+  harness and the examples.
+"""
+
+from repro.problems.base import YieldProblem, FunctionProblem
+from repro.problems.toy import (
+    ToyProblem,
+    make_toy_problems,
+    single_region_problem,
+    two_region_problem,
+    four_region_problem,
+    ring_problem,
+    shifted_region_problem,
+)
+from repro.problems.synthetic import (
+    LinearThresholdProblem,
+    QuadraticProblem,
+    MultiRegionProblem,
+)
+from repro.problems.sram_problems import (
+    SramYieldProblem,
+    make_sram_problem,
+    SRAM_PROBLEM_CONFIGS,
+)
+from repro.problems.registry import get_problem, list_problems, register_problem
+
+__all__ = [
+    "YieldProblem",
+    "FunctionProblem",
+    "ToyProblem",
+    "make_toy_problems",
+    "single_region_problem",
+    "two_region_problem",
+    "four_region_problem",
+    "ring_problem",
+    "shifted_region_problem",
+    "LinearThresholdProblem",
+    "QuadraticProblem",
+    "MultiRegionProblem",
+    "SramYieldProblem",
+    "make_sram_problem",
+    "SRAM_PROBLEM_CONFIGS",
+    "get_problem",
+    "list_problems",
+    "register_problem",
+]

@@ -1,0 +1,124 @@
+"""The problem interface every yield estimator consumes.
+
+A yield problem is the tuple (variation dimension ``D``, performance function
+``f``, thresholds ``t``): a sample ``x ~ N(0, I_D)`` fails when any metric of
+``f(x)`` exceeds its threshold.  The interface also tracks the number of
+performance-function evaluations, because the simulation count is the cost
+metric of every comparison in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_integer, check_samples_2d
+
+
+class YieldProblem:
+    """Abstract yield-estimation problem.
+
+    Subclasses implement :meth:`performance` (the raw metrics) and set
+    ``thresholds``; everything else — the indicator, the simulation counter,
+    the prior sampler — is shared.
+
+    Parameters
+    ----------
+    dimension:
+        Dimensionality of the variation space.
+    thresholds:
+        Upper thresholds for each performance metric, shape ``(K,)``.
+    name:
+        Identifier used in result tables.
+    true_failure_probability:
+        Reference value of ``Pf`` when known (analytically for the toy and
+        synthetic problems, from a golden Monte-Carlo run for the SRAM
+        problems); ``None`` when unknown.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        thresholds: np.ndarray,
+        name: str,
+        true_failure_probability: Optional[float] = None,
+    ):
+        self.dimension = check_integer(dimension, "dimension", minimum=1)
+        self.thresholds = np.atleast_1d(np.asarray(thresholds, dtype=float))
+        if self.thresholds.ndim != 1 or self.thresholds.size == 0:
+            raise ValueError("thresholds must be a non-empty 1-D array")
+        self.name = str(name)
+        if true_failure_probability is not None:
+            if not 0.0 < true_failure_probability < 1.0:
+                raise ValueError("true_failure_probability must be in (0, 1)")
+        self.true_failure_probability = true_failure_probability
+        self.simulation_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Interface
+    # ------------------------------------------------------------------ #
+    def performance(self, x: np.ndarray) -> np.ndarray:
+        """Raw performance metrics of shape ``(n, K)`` (no counting)."""
+        raise NotImplementedError
+
+    @property
+    def n_metrics(self) -> int:
+        return self.thresholds.size
+
+    # ------------------------------------------------------------------ #
+    # Shared behaviour
+    # ------------------------------------------------------------------ #
+    def simulate(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the metrics, counting the simulations spent."""
+        x = check_samples_2d(x, "x", dim=self.dimension)
+        self.simulation_count += x.shape[0]
+        metrics = np.asarray(self.performance(x), dtype=float)
+        if metrics.ndim == 1:
+            metrics = metrics[:, None]
+        if metrics.shape != (x.shape[0], self.n_metrics):
+            raise ValueError(
+                f"performance() returned shape {metrics.shape}, expected "
+                f"({x.shape[0]}, {self.n_metrics})"
+            )
+        return metrics
+
+    def indicator(self, x: np.ndarray) -> np.ndarray:
+        """Failure indicator ``I(x)`` (1 = failure) for each row of ``x``."""
+        metrics = self.simulate(x)
+        return np.any(metrics > self.thresholds[None, :], axis=1).astype(int)
+
+    def sample_prior(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` samples from the variation prior ``N(0, I_D)``."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return rng.standard_normal((n, self.dimension))
+
+    def reset_count(self) -> None:
+        """Reset the simulation counter (e.g. between estimator runs)."""
+        self.simulation_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, dimension={self.dimension})"
+
+
+class FunctionProblem(YieldProblem):
+    """A problem defined by an arbitrary vectorised metric function.
+
+    Useful for wrapping ad-hoc performance functions in tests and examples
+    without writing a subclass.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        metric_fn: Callable[[np.ndarray], np.ndarray],
+        thresholds: np.ndarray,
+        name: str = "function_problem",
+        true_failure_probability: Optional[float] = None,
+    ):
+        super().__init__(dimension, thresholds, name, true_failure_probability)
+        self._metric_fn = metric_fn
+
+    def performance(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self._metric_fn(x), dtype=float)

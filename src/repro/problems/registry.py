@@ -1,0 +1,62 @@
+"""Name-based problem registry used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.problems.base import YieldProblem
+from repro.problems.sram_problems import SRAM_PROBLEM_CONFIGS, make_sram_problem
+from repro.problems.synthetic import (
+    LinearThresholdProblem,
+    MultiRegionProblem,
+    QuadraticProblem,
+)
+from repro.problems.toy import make_toy_problems
+
+ProblemFactory = Callable[[], YieldProblem]
+
+_REGISTRY: Dict[str, ProblemFactory] = {}
+
+
+def register_problem(name: str, factory: ProblemFactory, overwrite: bool = False) -> None:
+    """Register a problem factory under ``name``."""
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"problem {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def list_problems() -> List[str]:
+    """Names of every registered problem."""
+    return sorted(_REGISTRY)
+
+
+def get_problem(name: str) -> YieldProblem:
+    """Instantiate a registered problem by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown problem {name!r}; available: {list_problems()}")
+    return _REGISTRY[name]()
+
+
+def _register_defaults() -> None:
+    for toy in make_toy_problems():
+        # Late-binding trap: capture the constructor by name, not the object,
+        # so repeated get_problem() calls return fresh instances with clean
+        # simulation counters.
+        register_problem(toy.name, lambda toy_name=toy.name: _fresh_toy(toy_name))
+    for key in SRAM_PROBLEM_CONFIGS:
+        register_problem(key, lambda case=key: make_sram_problem(case))
+    register_problem("linear_16d", lambda: LinearThresholdProblem(16, threshold_sigma=3.5))
+    register_problem("linear_108d", lambda: LinearThresholdProblem(108, threshold_sigma=3.7))
+    register_problem("quadratic_16d", lambda: QuadraticProblem(16, active_dimensions=2, radius=4.3))
+    register_problem(
+        "multi_region_16d", lambda: MultiRegionProblem(16, n_regions=4, threshold_sigma=3.5)
+    )
+
+
+def _fresh_toy(name: str) -> YieldProblem:
+    from repro.problems.toy import toy_problem_by_name
+
+    return toy_problem_by_name(name)
+
+
+_register_defaults()

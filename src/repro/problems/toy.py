@@ -1,0 +1,140 @@
+"""The five 2-D toy failure-boundary problems of Fig. 1.
+
+The paper's first experiment illustrates OPTIMIS on five two-dimensional
+examples "with different artificial failure boundaries (e.g., open
+boundaries, multiple failure regions, and non-centered regions)".  The exact
+analytic forms are not given in the paper, so this module defines five
+problems covering exactly those qualitative families, each with a known
+failure probability so the estimators can be scored without a golden Monte
+Carlo run:
+
+1. ``single_region`` — one half-space failure region (the case classic norm
+   minimisation handles well).
+2. ``two_regions`` — two symmetric half-spaces (NM captures only one).
+3. ``four_regions`` — four corner regions (strongly multi-modal).
+4. ``ring`` — failure outside a circle: an *open* boundary surrounding the
+   origin in every direction.
+5. ``shifted_region`` — a non-centred elliptical failure region off one
+   axis, plus a curved (parabolic) boundary on the other side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.problems.base import YieldProblem
+
+
+class ToyProblem(YieldProblem):
+    """A 2-D problem defined by a scalar metric and a threshold."""
+
+    def __init__(
+        self,
+        name: str,
+        metric_fn: Callable[[np.ndarray], np.ndarray],
+        threshold: float,
+        true_failure_probability: Optional[float] = None,
+    ):
+        super().__init__(
+            dimension=2,
+            thresholds=np.array([threshold]),
+            name=name,
+            true_failure_probability=true_failure_probability,
+        )
+        self._metric_fn = metric_fn
+
+    def performance(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self._metric_fn(x), dtype=float)[:, None]
+
+
+# --------------------------------------------------------------------------- #
+# Problem constructors
+# --------------------------------------------------------------------------- #
+def single_region_problem(shift: float = 6.0) -> ToyProblem:
+    """Failure when ``x_1 + x_2 > shift`` — a single half-space region."""
+    true_pf = float(stats.norm.sf(shift / np.sqrt(2.0)))
+    return ToyProblem(
+        "toy_single_region",
+        lambda x: x[:, 0] + x[:, 1],
+        threshold=shift,
+        true_failure_probability=true_pf,
+    )
+
+
+def two_region_problem(shift: float = 4.5) -> ToyProblem:
+    """Failure when ``|x_1| > shift`` — two symmetric regions."""
+    true_pf = float(2.0 * stats.norm.sf(shift))
+    return ToyProblem(
+        "toy_two_regions",
+        lambda x: np.abs(x[:, 0]),
+        threshold=shift,
+        true_failure_probability=true_pf,
+    )
+
+
+def four_region_problem(shift: float = 3.2) -> ToyProblem:
+    """Failure when ``min(|x_1|, |x_2|) > shift`` — four corner regions."""
+    true_pf = float(4.0 * stats.norm.sf(shift) ** 2)
+    return ToyProblem(
+        "toy_four_regions",
+        lambda x: np.minimum(np.abs(x[:, 0]), np.abs(x[:, 1])),
+        threshold=shift,
+        true_failure_probability=true_pf,
+    )
+
+
+def ring_problem(radius: float = 4.5) -> ToyProblem:
+    """Failure when ``‖x‖ > radius`` — an open boundary enclosing the origin.
+
+    For a 2-D standard normal, ``‖x‖²`` is chi-squared with 2 degrees of
+    freedom, so ``Pf = exp(-radius² / 2)`` exactly.
+    """
+    true_pf = float(np.exp(-0.5 * radius**2))
+    return ToyProblem(
+        "toy_ring",
+        lambda x: np.linalg.norm(x, axis=1),
+        threshold=radius,
+        true_failure_probability=true_pf,
+    )
+
+
+def shifted_region_problem(
+    center: np.ndarray = np.array([3.5, 4.0]), radius: float = 1.5
+) -> ToyProblem:
+    """Failure inside a circle centred away from the origin.
+
+    ``‖x - c‖² ~`` noncentral chi-squared with 2 dof and noncentrality
+    ``‖c‖²``, so the failure probability is available in closed form.
+    """
+    center = np.asarray(center, dtype=float)
+    noncentrality = float(np.sum(center**2))
+    true_pf = float(stats.ncx2.cdf(radius**2, df=2, nc=noncentrality))
+    # Failure when radius - ||x - c|| > 0, i.e. metric = -(||x - c|| - radius).
+    return ToyProblem(
+        "toy_shifted_region",
+        lambda x: radius - np.linalg.norm(x - center[None, :], axis=1),
+        threshold=0.0,
+        true_failure_probability=true_pf,
+    )
+
+
+def make_toy_problems() -> List[ToyProblem]:
+    """The five Fig. 1 problems, in display order."""
+    return [
+        single_region_problem(),
+        two_region_problem(),
+        four_region_problem(),
+        ring_problem(),
+        shifted_region_problem(),
+    ]
+
+
+def toy_problem_by_name(name: str) -> ToyProblem:
+    """Look up one of the five toy problems by its registered name."""
+    problems = {p.name: p for p in make_toy_problems()}
+    if name not in problems:
+        raise KeyError(f"unknown toy problem {name!r}; available: {sorted(problems)}")
+    return problems[name]

@@ -1,0 +1,66 @@
+"""SPICE-substitute circuit simulation substrate.
+
+The paper evaluates yield estimators against transistor-level SPICE
+simulations of SRAM column circuits (HSPICE + BSIM4/BSIM5 device cards on
+commercial netlists).  Neither a SPICE engine nor the proprietary netlists
+are available offline, so this package implements the closest synthetic
+equivalent that exercises the same code path:
+
+* :mod:`~repro.spice.devices` — behavioural MOSFET models (alpha-power law
+  saturation current, subthreshold leakage) whose electrical parameters are
+  perturbed by standard-normal process-variation variables exactly the way a
+  BSIM mismatch model perturbs them (threshold voltage, mobility, oxide
+  thickness, geometry, saturation velocity).
+* :mod:`~repro.spice.netlist` — a light structural netlist (devices attached
+  to named nodes) used to build and introspect the SRAM column.
+* :mod:`~repro.spice.cell` — the 6T SRAM bit cell (Fig. 2 of the paper).
+* :mod:`~repro.spice.sram` — the SRAM column: bit-cell array on a shared
+  bit-line pair, sense amplifier and power-gating path, with analytic
+  read-delay and write-delay evaluation.
+* :mod:`~repro.spice.variation` — the mapping from the flat variation vector
+  ``x ∈ R^D`` onto per-device parameter perturbations, reproducing the 108-,
+  569- and 1093-dimensional configurations of the paper.
+* :mod:`~repro.spice.simulator` — the black-box interface ``y = f(x)`` the
+  yield estimators consume; fully vectorised over samples.
+
+What matters for evaluating yield estimators is the statistical character of
+the map ``x -> I(x)``: rare failures (Pf around 1e-5 .. 1e-3), non-linear
+interactions between many parameters, several distinct failure mechanisms
+(read too slow, write contention, sense-amp offset) and therefore possibly
+several failure regions.  The behavioural model reproduces those properties
+while remaining computable at Monte-Carlo ground-truth scale.
+"""
+
+from repro.spice.devices import (
+    DeviceType,
+    MosfetParameters,
+    Mosfet,
+    VariationKind,
+    drive_current,
+    leakage_current,
+)
+from repro.spice.netlist import Netlist, Node, Instance
+from repro.spice.cell import SixTransistorCell
+from repro.spice.sram import SramColumn, SramColumnSpec
+from repro.spice.variation import VariationMap, VariationAssignment, build_variation_map
+from repro.spice.simulator import SramSimulator, SimulationResult
+
+__all__ = [
+    "DeviceType",
+    "MosfetParameters",
+    "Mosfet",
+    "VariationKind",
+    "drive_current",
+    "leakage_current",
+    "Netlist",
+    "Node",
+    "Instance",
+    "SixTransistorCell",
+    "SramColumn",
+    "SramColumnSpec",
+    "VariationMap",
+    "VariationAssignment",
+    "build_variation_map",
+    "SramSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,142 @@
+"""The 6T SRAM bit cell (Fig. 2 of the paper).
+
+Two cross-coupled inverters (four transistors) store the bit; two NMOS access
+transistors connect the internal nodes to the bit-line pair when the word
+line is asserted.  The cell exposes the three device groups the column-level
+delay model needs — pull-down, pull-up and access devices — together with
+their nominal sizing (the classic read-stability sizing: pull-down stronger
+than access, access stronger than pull-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.spice.devices import (
+    DeviceType,
+    Mosfet,
+    MosfetParameters,
+    NMOS_REFERENCE,
+    PMOS_REFERENCE,
+)
+from repro.spice.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CellSizing:
+    """Width ratios of the 6T cell devices (lengths are all minimum).
+
+    The usual cell design rule is ``pull_down > access > pull_up`` so the
+    cell can be read without flipping and written through the access
+    devices.
+    """
+
+    pull_down_width: float = 1.5
+    access_width: float = 1.0
+    pull_up_width: float = 0.7
+
+
+class SixTransistorCell:
+    """One 6T SRAM cell with named devices.
+
+    Parameters
+    ----------
+    index:
+        Row index of the cell within its column; used to generate unique
+        device names like ``"cell3.pull_down_left"``.
+    sizing:
+        Device width ratios.
+    """
+
+    DEVICE_ROLES = (
+        "pull_down_left",
+        "pull_down_right",
+        "pull_up_left",
+        "pull_up_right",
+        "access_left",
+        "access_right",
+    )
+
+    def __init__(self, index: int, sizing: CellSizing = CellSizing()):
+        if index < 0:
+            raise ValueError(f"cell index must be non-negative, got {index}")
+        self.index = index
+        self.sizing = sizing
+        self.devices: Dict[str, Mosfet] = {}
+        self._build_devices()
+
+    def _build_devices(self) -> None:
+        prefix = f"cell{self.index}"
+        nmos = NMOS_REFERENCE
+        pmos = PMOS_REFERENCE
+        sizing = self.sizing
+        self.devices = {
+            "pull_down_left": Mosfet(
+                f"{prefix}.pull_down_left",
+                DeviceType.NMOS,
+                nmos.scaled(width=sizing.pull_down_width),
+                role="pull_down",
+            ),
+            "pull_down_right": Mosfet(
+                f"{prefix}.pull_down_right",
+                DeviceType.NMOS,
+                nmos.scaled(width=sizing.pull_down_width),
+                role="pull_down",
+            ),
+            "pull_up_left": Mosfet(
+                f"{prefix}.pull_up_left",
+                DeviceType.PMOS,
+                pmos.scaled(width=sizing.pull_up_width),
+                role="pull_up",
+            ),
+            "pull_up_right": Mosfet(
+                f"{prefix}.pull_up_right",
+                DeviceType.PMOS,
+                pmos.scaled(width=sizing.pull_up_width),
+                role="pull_up",
+            ),
+            "access_left": Mosfet(
+                f"{prefix}.access_left",
+                DeviceType.NMOS,
+                nmos.scaled(width=sizing.access_width),
+                role="access",
+            ),
+            "access_right": Mosfet(
+                f"{prefix}.access_right",
+                DeviceType.NMOS,
+                nmos.scaled(width=sizing.access_width),
+                role="access",
+            ),
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def transistors(self) -> List[Mosfet]:
+        """All six devices in a stable order."""
+        return [self.devices[r] for r in self.DEVICE_ROLES]
+
+    def add_to_netlist(self, netlist: Netlist) -> None:
+        """Attach the cell to a column netlist.
+
+        Node naming convention: the internal storage nodes are
+        ``cell{i}.q`` / ``cell{i}.qb``; the shared column nets are ``bl``,
+        ``blb`` (bit-line pair), ``wl{i}`` (per-row word line), ``vdd_cell``
+        (the power-gated cell supply) and ``gnd``.
+        """
+        i = self.index
+        q, qb = f"cell{i}.q", f"cell{i}.qb"
+        wl = f"wl{i}"
+        netlist.add_device(self.devices["pull_down_left"], drain=q, gate=qb, source="gnd")
+        netlist.add_device(self.devices["pull_down_right"], drain=qb, gate=q, source="gnd")
+        netlist.add_device(
+            self.devices["pull_up_left"], drain=q, gate=qb, source="vdd_cell", bulk="vdd"
+        )
+        netlist.add_device(
+            self.devices["pull_up_right"], drain=qb, gate=q, source="vdd_cell", bulk="vdd"
+        )
+        netlist.add_device(self.devices["access_left"], drain="bl", gate=wl, source=q)
+        netlist.add_device(self.devices["access_right"], drain="blb", gate=wl, source=qb)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SixTransistorCell(index={self.index})"

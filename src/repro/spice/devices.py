@@ -1,0 +1,255 @@
+"""Behavioural MOSFET device models.
+
+The model follows the alpha-power law (Sakurai–Newton) for the on-state drive
+current and a standard exponential subthreshold model for leakage.  Process
+variation enters through multiplicative/additive perturbations of threshold
+voltage, carrier mobility, oxide thickness, channel geometry and saturation
+velocity — the same physical quantities a BSIM4/BSIM5 mismatch model would
+perturb (the paper attaches "0–3 variational parameters (i.e., mobility,
+oxide thickness, and saturation velocity)" to each transistor of the
+commercial arrays, and geometry variations to the 6T cells).
+
+All evaluation functions are vectorised: they accept arrays of per-sample
+parameter deltas and return arrays of currents, so a whole Monte-Carlo batch
+is evaluated with numpy broadcasting rather than a Python loop per sample.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+# Thermal voltage at 300 K (V).
+THERMAL_VOLTAGE = 0.02585
+# Subthreshold slope factor.
+SUBTHRESHOLD_SLOPE = 1.4
+
+
+class DeviceType(enum.Enum):
+    """Polarity of a MOSFET."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+class VariationKind(enum.Enum):
+    """Physical quantity perturbed by one variation parameter.
+
+    The numeric values double as stable identifiers in the variation map, so
+    the assignment of dimensions to physical quantities is reproducible.
+    """
+
+    THRESHOLD_VOLTAGE = "vth"
+    MOBILITY = "mobility"
+    OXIDE_THICKNESS = "tox"
+    CHANNEL_LENGTH = "length"
+    CHANNEL_WIDTH = "width"
+    SATURATION_VELOCITY = "vsat"
+
+
+# One-sigma relative (or absolute, for Vth) magnitude of each variation kind.
+# These are representative mismatch magnitudes for a deeply-scaled node; the
+# absolute values only set how far (in sigmas) the failure boundary sits from
+# the origin, which the problem definitions calibrate explicitly.
+DEFAULT_SIGMA: Dict[VariationKind, float] = {
+    VariationKind.THRESHOLD_VOLTAGE: 0.030,  # volts, additive
+    VariationKind.MOBILITY: 0.05,  # relative
+    VariationKind.OXIDE_THICKNESS: 0.03,  # relative
+    VariationKind.CHANNEL_LENGTH: 0.04,  # relative
+    VariationKind.CHANNEL_WIDTH: 0.04,  # relative
+    VariationKind.SATURATION_VELOCITY: 0.05,  # relative
+}
+
+
+@dataclass(frozen=True)
+class MosfetParameters:
+    """Nominal electrical parameters of a MOSFET.
+
+    Attributes
+    ----------
+    vth:
+        Nominal threshold voltage magnitude (V).
+    width, length:
+        Channel geometry in arbitrary (consistent) units; only the ratio
+        ``width / length`` matters to the behavioural model.
+    mobility:
+        Relative carrier-mobility factor (1.0 for the nominal NMOS; PMOS
+        devices use a smaller value reflecting hole mobility).
+    oxide_thickness:
+        Relative oxide thickness (1.0 nominal); the gate capacitance, and
+        therefore the drive current, scales with its inverse.
+    saturation_velocity:
+        Relative saturation-velocity factor (1.0 nominal).
+    alpha:
+        Velocity-saturation index of the alpha-power law (2.0 is the
+        long-channel square law; deeply scaled devices are closer to 1.3).
+    transconductance:
+        Current prefactor ``k`` (A/V^alpha) of a unit-W/L device.
+    """
+
+    vth: float = 0.40
+    width: float = 1.0
+    length: float = 1.0
+    mobility: float = 1.0
+    oxide_thickness: float = 1.0
+    saturation_velocity: float = 1.0
+    alpha: float = 1.3
+    transconductance: float = 3.0e-4
+
+    def scaled(self, width: Optional[float] = None, length: Optional[float] = None) -> "MosfetParameters":
+        """Return a copy with a different geometry."""
+        return replace(
+            self,
+            width=self.width if width is None else width,
+            length=self.length if length is None else length,
+        )
+
+
+# Reference device cards: NMOS and PMOS of a generic deeply-scaled node.
+NMOS_REFERENCE = MosfetParameters(vth=0.40, mobility=1.0, transconductance=3.0e-4)
+PMOS_REFERENCE = MosfetParameters(vth=0.42, mobility=0.45, transconductance=3.0e-4)
+
+
+@dataclass
+class Mosfet:
+    """A MOSFET instance inside a circuit.
+
+    Attributes
+    ----------
+    name:
+        Instance name, e.g. ``"cell3.access_left"``.
+    device_type:
+        NMOS or PMOS.
+    parameters:
+        Nominal device card.
+    role:
+        Free-form functional tag used by the column model ("pull_down",
+        "pull_up", "access", "sense_input", "power_gate", ...).
+    """
+
+    name: str
+    device_type: DeviceType
+    parameters: MosfetParameters
+    role: str = "generic"
+    variation_sigmas: Dict[VariationKind, float] = field(
+        default_factory=lambda: dict(DEFAULT_SIGMA)
+    )
+
+    def effective_parameters(
+        self, deltas: Dict[VariationKind, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Apply standard-normal variation deltas to the nominal card.
+
+        Parameters
+        ----------
+        deltas:
+            Mapping from variation kind to an array of standard-normal values
+            (one per Monte-Carlo sample).  Kinds not present are treated as
+            unperturbed — this is how transistors with "0–3 variational
+            parameters" coexist in one array.
+
+        Returns
+        -------
+        dict
+            Effective ``vth``, ``beta`` (current prefactor, already including
+            geometry, mobility, oxide and velocity effects) per sample.
+        """
+        p = self.parameters
+
+        def delta(kind: VariationKind) -> np.ndarray:
+            value = deltas.get(kind)
+            if value is None:
+                return np.asarray(0.0)
+            return np.asarray(value, dtype=float)
+
+        sigma = self.variation_sigmas
+        vth = p.vth + sigma[VariationKind.THRESHOLD_VOLTAGE] * delta(
+            VariationKind.THRESHOLD_VOLTAGE
+        )
+        mobility = p.mobility * (
+            1.0 + sigma[VariationKind.MOBILITY] * delta(VariationKind.MOBILITY)
+        )
+        oxide = p.oxide_thickness * (
+            1.0 + sigma[VariationKind.OXIDE_THICKNESS] * delta(VariationKind.OXIDE_THICKNESS)
+        )
+        length = p.length * (
+            1.0 + sigma[VariationKind.CHANNEL_LENGTH] * delta(VariationKind.CHANNEL_LENGTH)
+        )
+        width = p.width * (
+            1.0 + sigma[VariationKind.CHANNEL_WIDTH] * delta(VariationKind.CHANNEL_WIDTH)
+        )
+        velocity = p.saturation_velocity * (
+            1.0
+            + sigma[VariationKind.SATURATION_VELOCITY]
+            * delta(VariationKind.SATURATION_VELOCITY)
+        )
+
+        # Guard against unphysical (negative) values far in the tails; the
+        # clip levels are generous enough never to matter within ~8 sigma.
+        mobility = np.maximum(mobility, 0.05)
+        oxide = np.maximum(oxide, 0.2)
+        length = np.maximum(length, 0.2)
+        width = np.maximum(width, 0.2)
+        velocity = np.maximum(velocity, 0.05)
+
+        beta = (
+            p.transconductance
+            * mobility
+            * velocity
+            * (width / length)
+            / oxide
+        )
+        return {"vth": vth, "beta": beta}
+
+
+def drive_current(
+    vth: np.ndarray,
+    beta: np.ndarray,
+    gate_drive: float,
+    alpha: float = 1.3,
+) -> np.ndarray:
+    """Alpha-power-law saturation current of a device.
+
+    ``I_on = beta * max(V_gs - V_th, 0)^alpha``; a device pushed below
+    threshold by variation delivers (almost) no drive current, which is
+    exactly the read-failure mechanism of a weak SRAM cell.  A tiny
+    subthreshold floor keeps delays finite so downstream arithmetic never
+    divides by zero.
+    """
+    overdrive = np.maximum(gate_drive - vth, 0.0)
+    on_current = beta * overdrive**alpha
+    floor = leakage_current(vth, beta, gate_drive=0.0)
+    return np.maximum(on_current, floor)
+
+
+def leakage_current(
+    vth: np.ndarray,
+    beta: np.ndarray,
+    gate_drive: float = 0.0,
+) -> np.ndarray:
+    """Subthreshold leakage current of a nominally-off device.
+
+    ``I_off = beta * vT^2 * exp((V_gs - V_th) / (n vT))`` — exponential in the
+    threshold voltage, so leakage varies over orders of magnitude across the
+    process-variation space.  Aggregated over all unaccessed cells of a
+    column this eats into the read current of the accessed cell, coupling
+    many variation parameters into the read-delay metric.
+    """
+    exponent = (gate_drive - vth) / (SUBTHRESHOLD_SLOPE * THERMAL_VOLTAGE)
+    # Clip the exponent: far tails otherwise overflow, and a device whose
+    # threshold went *negative* is better modelled as weakly on.
+    exponent = np.clip(exponent, -60.0, 5.0)
+    return beta * THERMAL_VOLTAGE**2 * np.exp(exponent)
+
+
+def series_current(i_top: np.ndarray, i_bottom: np.ndarray) -> np.ndarray:
+    """Effective drive of two stacked (series) devices.
+
+    The harmonic mean is the standard back-of-the-envelope composition rule
+    for stacked transistors: the stack is as strong as its weaker member,
+    degraded further when both are comparable.
+    """
+    return (i_top * i_bottom) / np.maximum(i_top + i_bottom, 1e-30)

@@ -1,0 +1,146 @@
+"""Structural netlist representation.
+
+The yield estimators only ever see the black-box map ``x -> y``, but the
+column model is still built from an explicit structural netlist so that the
+circuit generators are introspectable (how many devices, which roles, which
+variation dimensions attach where) and testable independently of the delay
+model.  The representation is intentionally small: named nodes, device
+instances with pin connections, and simple queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.spice.devices import DeviceType, Mosfet
+
+
+@dataclass(frozen=True)
+class Node:
+    """A circuit node (net)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass
+class Instance:
+    """A device instance with its pin-to-node connections."""
+
+    device: Mosfet
+    connections: Dict[str, Node]
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+
+class Netlist:
+    """A flat netlist of MOSFET instances.
+
+    Provides the handful of queries the SRAM column generator and the tests
+    need: node creation, instance registration, lookup by name/role, and
+    simple consistency checks (no dangling required pins, unique names).
+    """
+
+    REQUIRED_PINS = ("drain", "gate", "source", "bulk")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._instances: Dict[str, Instance] = {}
+
+    # ------------------------------------------------------------------ #
+    def node(self, name: str) -> Node:
+        """Return the node called ``name``, creating it on first use."""
+        if name not in self._nodes:
+            self._nodes[name] = Node(name)
+        return self._nodes[name]
+
+    def add_device(
+        self,
+        device: Mosfet,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: Optional[str] = None,
+    ) -> Instance:
+        """Register a MOSFET instance connected to the named nodes."""
+        if device.name in self._instances:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        if bulk is None:
+            bulk = "gnd" if device.device_type is DeviceType.NMOS else "vdd"
+        connections = {
+            "drain": self.node(drain),
+            "gate": self.node(gate),
+            "source": self.node(source),
+            "bulk": self.node(bulk),
+        }
+        instance = Instance(device=device, connections=connections)
+        self._instances[device.name] = instance
+        return instance
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def instances(self) -> List[Instance]:
+        return list(self._instances.values())
+
+    @property
+    def devices(self) -> List[Mosfet]:
+        return [inst.device for inst in self._instances.values()]
+
+    def __len__(self) -> int:
+        return len(self._instances)
+
+    def __iter__(self) -> Iterator[Instance]:
+        return iter(self._instances.values())
+
+    def get(self, name: str) -> Instance:
+        """Look up an instance by name."""
+        try:
+            return self._instances[name]
+        except KeyError:
+            raise KeyError(f"no device named {name!r} in netlist {self.name!r}") from None
+
+    def by_role(self, role: str) -> List[Instance]:
+        """Return every instance whose device role matches ``role``."""
+        return [inst for inst in self._instances.values() if inst.device.role == role]
+
+    def count_by_type(self) -> Dict[DeviceType, int]:
+        """Number of devices per polarity."""
+        counts = {DeviceType.NMOS: 0, DeviceType.PMOS: 0}
+        for inst in self._instances.values():
+            counts[inst.device.device_type] += 1
+        return counts
+
+    def connected_devices(self, node_name: str) -> List[Tuple[str, str]]:
+        """Return ``(device_name, pin)`` pairs attached to a node."""
+        result = []
+        for inst in self._instances.values():
+            for pin, node in inst.connections.items():
+                if node.name == node_name:
+                    result.append((inst.name, pin))
+        return result
+
+    def validate(self) -> None:
+        """Raise if any instance misses a required pin connection."""
+        for inst in self._instances.values():
+            missing = [p for p in self.REQUIRED_PINS if p not in inst.connections]
+            if missing:
+                raise ValueError(f"instance {inst.name!r} is missing pins {missing}")
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description (used by examples)."""
+        counts = self.count_by_type()
+        return (
+            f"netlist {self.name!r}: {len(self)} devices "
+            f"({counts[DeviceType.NMOS]} NMOS, {counts[DeviceType.PMOS]} PMOS), "
+            f"{len(self._nodes)} nodes"
+        )

@@ -1,0 +1,357 @@
+"""SRAM column/array model with analytic read- and write-delay evaluation.
+
+The circuit follows Fig. 2 of the paper: a column of 6T cells sharing a
+bit-line pair, a sense amplifier per column, and a power-gating path feeding
+the cell supply.  The commercial-style configurations extend the single
+column to a small array of columns (the paper's 569- and 1093-dimensional
+cases are full arrays with "bit-cell arrays, sense amplifiers, and power
+paths" built from 528 transistors).
+
+The output performance metric is the read/write delay, as in the paper:
+
+* **Read delay** — the accessed cell must discharge the bit-line capacitance
+  through the series stack of its access and pull-down transistors by enough
+  voltage for the sense amplifier (including its input-pair offset) to
+  resolve, while leakage of the unaccessed cells on the same bit line steals
+  part of the discharge current.
+* **Write delay** — the write driver must overpower the cell's pull-up
+  through the access transistor; a strong pull-up combined with a weak access
+  device stalls the write.
+
+Both metrics are evaluated for *every* cell (the slowest cell determines the
+column's delay), so the failure set is a union of per-cell failure regions —
+the multi-failure-region structure that motivates the paper's method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.spice.cell import CellSizing, SixTransistorCell
+from repro.spice.devices import (
+    DeviceType,
+    Mosfet,
+    MosfetParameters,
+    NMOS_REFERENCE,
+    PMOS_REFERENCE,
+    drive_current,
+    leakage_current,
+    series_current,
+)
+from repro.spice.netlist import Netlist
+from repro.spice.variation import VariationMap, build_variation_map
+from repro.utils.validation import check_integer, check_positive
+
+# Supply voltage of the generic node (V).
+VDD = 1.0
+# Electrical constants of the column (farads, volts, seconds).  Only their
+# relative influence on the delay matters; the thresholds of the yield
+# problems are calibrated against the resulting delay distribution.
+BITLINE_CAP_PER_ROW = 2.0e-15
+BITLINE_CAP_FIXED = 4.0e-15
+SENSE_BASE_SWING = 0.08
+SENSE_OFFSET_GAIN = 1.2
+SENSE_AMP_CAP = 5.0e-15
+CELL_NODE_CAP = 2.0e-15
+WORDLINE_DELAY = 4.0e-12
+LEAKAGE_COUPLING = 1.0
+WRITE_ACCESS_DERATING = 0.8
+POWER_GATE_DROP = 0.04
+CURRENT_FLOOR = 1.0e-9
+
+
+@dataclass(frozen=True)
+class SramColumnSpec:
+    """Structural description of an SRAM column/array configuration.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"sram_column_108"``).
+    n_rows:
+        Cells per column.
+    n_columns:
+        Number of columns sharing the power path.
+    n_power_gates:
+        PMOS header devices gating the cell supply.
+    target_dimension:
+        Total number of variation parameters to spread over the devices.
+    """
+
+    name: str
+    n_rows: int
+    n_columns: int
+    n_power_gates: int
+    target_dimension: int
+
+    def __post_init__(self):
+        check_integer(self.n_rows, "n_rows", minimum=1)
+        check_integer(self.n_columns, "n_columns", minimum=1)
+        check_integer(self.n_power_gates, "n_power_gates", minimum=0)
+        check_integer(self.target_dimension, "target_dimension", minimum=1)
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_rows * self.n_columns
+
+    @property
+    def n_devices(self) -> int:
+        return 6 * self.n_cells + 4 * self.n_columns + self.n_power_gates
+
+    # ------------------------------------------------------------------ #
+    # The three configurations evaluated in the paper.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def column_108(cls) -> "SramColumnSpec":
+        """8-cell column, 108 variation parameters (Section IV-A).
+
+        8 cells x 6 transistors plus a sense amplifier (4 devices) and two
+        power-gate headers give 54 devices carrying two variation parameters
+        each.
+        """
+        return cls("sram_column_108", n_rows=8, n_columns=1, n_power_gates=2,
+                   target_dimension=108)
+
+    @classmethod
+    def column_569(cls) -> "SramColumnSpec":
+        """Commercial-style array, 528 transistors, 569 parameters (Section IV-B).
+
+        80 cells in 8 columns of 10 rows (480 devices), one sense amplifier
+        per column (32 devices) and 16 power-gate headers: 528 transistors,
+        as in the paper, carrying 569 BSIM4-style variation parameters.
+        """
+        return cls("sram_array_569", n_rows=10, n_columns=8, n_power_gates=16,
+                   target_dimension=569)
+
+    @classmethod
+    def column_1093(cls) -> "SramColumnSpec":
+        """Same 528-transistor array with a detailed device card, 1093 parameters."""
+        return cls("sram_array_1093", n_rows=10, n_columns=8, n_power_gates=16,
+                   target_dimension=1093)
+
+
+class SramColumn:
+    """An SRAM column/array with its variation map and delay model.
+
+    Parameters
+    ----------
+    spec:
+        Structural configuration.
+    sizing:
+        6T cell sizing ratios.
+    """
+
+    def __init__(self, spec: SramColumnSpec, sizing: CellSizing = CellSizing()):
+        self.spec = spec
+        self.sizing = sizing
+        self.cells: List[SixTransistorCell] = []
+        self.sense_amps: List[Dict[str, Mosfet]] = []
+        self.power_gates: List[Mosfet] = []
+        self.netlist = Netlist(spec.name)
+        self._build()
+        self.variation_map: VariationMap = build_variation_map(
+            self.netlist.devices, spec.target_dimension
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        spec = self.spec
+        cell_index = 0
+        for column in range(spec.n_columns):
+            for row in range(spec.n_rows):
+                cell = SixTransistorCell(cell_index, sizing=self.sizing)
+                cell.add_to_netlist(self.netlist)
+                self.cells.append(cell)
+                cell_index += 1
+            self.sense_amps.append(self._build_sense_amp(column))
+        for gate_index in range(spec.n_power_gates):
+            header = Mosfet(
+                f"power_gate{gate_index}",
+                DeviceType.PMOS,
+                PMOS_REFERENCE.scaled(width=4.0),
+                role="power_gate",
+            )
+            self.power_gates.append(header)
+            self.netlist.add_device(header, drain="vdd_cell", gate="sleep_n", source="vdd")
+
+    def _build_sense_amp(self, column: int) -> Dict[str, Mosfet]:
+        """A latch-type sense amplifier: NMOS input pair + cross-coupled pair."""
+        prefix = f"sa{column}"
+        devices = {
+            "input_left": Mosfet(
+                f"{prefix}.input_left", DeviceType.NMOS,
+                NMOS_REFERENCE.scaled(width=2.0), role="sense_input",
+            ),
+            "input_right": Mosfet(
+                f"{prefix}.input_right", DeviceType.NMOS,
+                NMOS_REFERENCE.scaled(width=2.0), role="sense_input",
+            ),
+            "cross_left": Mosfet(
+                f"{prefix}.cross_left", DeviceType.PMOS,
+                PMOS_REFERENCE.scaled(width=1.5), role="sense_cross",
+            ),
+            "cross_right": Mosfet(
+                f"{prefix}.cross_right", DeviceType.PMOS,
+                PMOS_REFERENCE.scaled(width=1.5), role="sense_cross",
+            ),
+        }
+        self.netlist.add_device(devices["input_left"], drain=f"{prefix}.out", gate="bl",
+                                source=f"{prefix}.tail")
+        self.netlist.add_device(devices["input_right"], drain=f"{prefix}.outb", gate="blb",
+                                source=f"{prefix}.tail")
+        self.netlist.add_device(devices["cross_left"], drain=f"{prefix}.out",
+                                gate=f"{prefix}.outb", source="vdd", bulk="vdd")
+        self.netlist.add_device(devices["cross_right"], drain=f"{prefix}.outb",
+                                gate=f"{prefix}.out", source="vdd", bulk="vdd")
+        return devices
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Number of variation parameters (the problem dimensionality)."""
+        return self.variation_map.dimension
+
+    def describe(self) -> str:
+        """One-paragraph structural summary."""
+        spec = self.spec
+        return (
+            f"{spec.name}: {spec.n_columns} column(s) x {spec.n_rows} rows "
+            f"({spec.n_cells} 6T cells), {len(self.sense_amps)} sense amplifier(s), "
+            f"{len(self.power_gates)} power-gate header(s); "
+            f"{len(self.netlist)} transistors; {self.variation_map.describe()}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Electrical evaluation
+    # ------------------------------------------------------------------ #
+    def _device_arrays(
+        self, x: np.ndarray
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        """Effective ``vth``/``beta`` arrays for every device, keyed by name."""
+        params: Dict[str, Dict[str, np.ndarray]] = {}
+        for device in self.netlist.devices:
+            deltas = self.variation_map.deltas_for_device(device.name, x)
+            params[device.name] = device.effective_parameters(deltas)
+        return params
+
+    def _supply_voltage(
+        self, params: Dict[str, Dict[str, np.ndarray]], n_samples: int
+    ) -> np.ndarray:
+        """Effective cell supply after the power-gating headers.
+
+        The headers form a resistive drop proportional to the inverse of
+        their combined drive strength; weak headers (high |Vth|, low
+        mobility) sag the cell supply and slow every cell at once.
+        """
+        if not self.power_gates:
+            return np.full(n_samples, VDD)
+        strength = np.zeros(n_samples)
+        nominal = 0.0
+        for header in self.power_gates:
+            p = params[header.name]
+            strength = strength + drive_current(p["vth"], p["beta"], VDD,
+                                                header.parameters.alpha)
+            nominal += drive_current(
+                np.asarray(header.parameters.vth),
+                np.asarray(header.parameters.transconductance
+                           * header.parameters.mobility
+                           * header.parameters.width / header.parameters.length
+                           / header.parameters.oxide_thickness),
+                VDD,
+                header.parameters.alpha,
+            )
+        ratio = nominal / np.maximum(strength, CURRENT_FLOOR)
+        return VDD * (1.0 - POWER_GATE_DROP * ratio)
+
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate read and write delays for a batch of variation samples.
+
+        Parameters
+        ----------
+        x:
+            Standard-normal variation samples, shape ``(n, dimension)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(n, 2)``: column ``0`` is the worst-case read
+            delay and column ``1`` the worst-case write delay (seconds).
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.dimension:
+            raise ValueError(
+                f"expected {self.dimension} variation parameters, got {x.shape[1]}"
+            )
+        n = x.shape[0]
+        params = self._device_arrays(x)
+        vdd_eff = self._supply_voltage(params, n)
+
+        spec = self.spec
+        bitline_cap = BITLINE_CAP_PER_ROW * spec.n_rows + BITLINE_CAP_FIXED
+
+        worst_read = np.zeros(n)
+        worst_write = np.zeros(n)
+        cell_iter = iter(self.cells)
+        for column in range(spec.n_columns):
+            column_cells = [next(cell_iter) for _ in range(spec.n_rows)]
+            sense = self.sense_amps[column]
+
+            # Sense-amplifier requirements for this column.
+            vth_in_left = params[sense["input_left"].name]["vth"]
+            vth_in_right = params[sense["input_right"].name]["vth"]
+            offset = SENSE_OFFSET_GAIN * np.abs(vth_in_left - vth_in_right)
+            required_swing = SENSE_BASE_SWING + offset
+
+            cross_left = params[sense["cross_left"].name]
+            cross_right = params[sense["cross_right"].name]
+            regen_drive = np.minimum(
+                drive_current(cross_left["vth"], cross_left["beta"], vdd_eff),
+                drive_current(cross_right["vth"], cross_right["beta"], vdd_eff),
+            )
+            sense_delay = SENSE_AMP_CAP * vdd_eff / np.maximum(regen_drive, CURRENT_FLOOR)
+
+            # Per-row read currents and bit-line leakage.
+            read_currents = np.empty((spec.n_rows, n))
+            access_leakage = np.empty((spec.n_rows, n))
+            write_margins = np.empty((spec.n_rows, n))
+            for row, cell in enumerate(column_cells):
+                acc = params[cell.devices["access_left"].name]
+                pd = params[cell.devices["pull_down_left"].name]
+                pu = params[cell.devices["pull_up_left"].name]
+
+                i_access = drive_current(acc["vth"], acc["beta"], vdd_eff)
+                i_pull_down = drive_current(pd["vth"], pd["beta"], vdd_eff)
+                read_currents[row] = series_current(i_access, i_pull_down)
+                access_leakage[row] = leakage_current(acc["vth"], acc["beta"])
+
+                i_write_access = WRITE_ACCESS_DERATING * i_access
+                i_pull_up = drive_current(pu["vth"], pu["beta"], vdd_eff)
+                write_margins[row] = i_write_access - i_pull_up
+
+            total_leakage = access_leakage.sum(axis=0)
+            for row in range(spec.n_rows):
+                other_leakage = total_leakage - access_leakage[row]
+                effective = np.maximum(
+                    read_currents[row] - LEAKAGE_COUPLING * other_leakage,
+                    CURRENT_FLOOR,
+                )
+                bitline_delay = bitline_cap * required_swing / effective
+                read_delay = WORDLINE_DELAY + bitline_delay + sense_delay
+                worst_read = np.maximum(worst_read, read_delay)
+
+                write_current = np.maximum(write_margins[row], CURRENT_FLOOR)
+                write_delay = (
+                    WORDLINE_DELAY + CELL_NODE_CAP * (vdd_eff / 2.0) / write_current
+                )
+                worst_write = np.maximum(worst_write, write_delay)
+
+        return np.column_stack([worst_read, worst_write])

@@ -1,0 +1,32 @@
+"""Shared utilities: seeded RNG handling, validation, batching and timing.
+
+These helpers are deliberately small and dependency-free; every other
+subpackage builds on them so that random-number handling and argument
+validation are consistent across the whole library.
+"""
+
+from repro.utils.rng import as_generator, spawn_generators, split_seed
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_samples_2d,
+    check_in_range,
+    check_integer,
+)
+from repro.utils.batching import batch_indices, evaluate_in_batches
+from repro.utils.logging import Timer, get_logger
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "split_seed",
+    "check_positive",
+    "check_probability",
+    "check_samples_2d",
+    "check_in_range",
+    "check_integer",
+    "batch_indices",
+    "evaluate_in_batches",
+    "Timer",
+    "get_logger",
+]

@@ -1,0 +1,62 @@
+"""Batched evaluation helpers.
+
+Monte Carlo ground truth on the SRAM problems needs millions of simulator
+calls; evaluating them in bounded-size batches keeps peak memory flat while
+remaining fully vectorised inside each batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_integer
+
+
+def batch_indices(n_total: int, batch_size: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` index pairs covering ``range(n_total)``.
+
+    The final batch may be smaller than ``batch_size``.
+    """
+    n_total = check_integer(n_total, "n_total", minimum=0)
+    batch_size = check_integer(batch_size, "batch_size", minimum=1)
+    start = 0
+    while start < n_total:
+        stop = min(start + batch_size, n_total)
+        yield start, stop
+        start = stop
+
+
+def evaluate_in_batches(
+    func: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    batch_size: int = 100_000,
+) -> np.ndarray:
+    """Apply a vectorised ``func`` to the rows of ``x`` in batches.
+
+    Parameters
+    ----------
+    func:
+        Callable mapping an ``(m, d)`` array to an ``(m,)`` or ``(m, k)``
+        array.
+    x:
+        Input samples of shape ``(n, d)``.
+    batch_size:
+        Maximum number of rows passed to ``func`` per call.
+
+    Returns
+    -------
+    numpy.ndarray
+        Concatenated outputs in the original row order.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    if x.shape[0] == 0:
+        return np.empty((0,))
+    outputs = []
+    for start, stop in batch_indices(x.shape[0], batch_size):
+        out = np.asarray(func(x[start:stop]))
+        outputs.append(out)
+    return np.concatenate(outputs, axis=0)

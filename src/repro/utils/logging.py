@@ -1,0 +1,49 @@
+"""Lightweight logging and timing helpers."""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Optional
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a library logger with a single stream handler attached once."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.setLevel(logging.WARNING)
+    return logger
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self, label: Optional[str] = None):
+        self.label = label
+        self.start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f"{self.label}: " if self.label else ""
+        return f"<Timer {label}{self.elapsed:.6f}s>"

@@ -1,0 +1,98 @@
+"""Argument validation helpers shared across the library.
+
+The public estimators are the user-facing surface of this package, so they
+validate their inputs eagerly and raise informative errors instead of letting
+numpy broadcast mistakes propagate into silently-wrong yield numbers.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) real number."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_integer(value: int, name: str, *, minimum: Optional[int] = None) -> int:
+    """Validate that ``value`` is an integer, optionally at least ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = check_positive(value, name, strict=False)
+    if value > 1:
+        raise ValueError(f"{name} must be <= 1, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Validate that ``value`` lies within ``[low, high]`` (or ``(low, high)``)."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
+    return value
+
+
+def check_samples_2d(
+    x: np.ndarray, name: str = "x", *, dim: Optional[int] = None
+) -> np.ndarray:
+    """Validate and canonicalise a batch of samples to shape ``(n, d)``.
+
+    A single sample of shape ``(d,)`` is promoted to ``(1, d)``.  Non-finite
+    entries are rejected because they invariably indicate an upstream bug
+    (for instance an unconverged simulator run) that must not silently bias a
+    yield estimate.
+    """
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must have at least one column")
+    if dim is not None and arr.shape[1] != dim:
+        raise ValueError(
+            f"{name} has dimension {arr.shape[1]}, expected {dim}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_indicator(values: np.ndarray, name: str = "indicator") -> np.ndarray:
+    """Validate that ``values`` is a 0/1 indicator vector and return it as int."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    as_int = arr.astype(int)
+    if not np.all((as_int == 0) | (as_int == 1)):
+        raise ValueError(f"{name} must contain only 0/1 values")
+    return as_int

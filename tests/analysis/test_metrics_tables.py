@@ -1,0 +1,131 @@
+"""Tests for the analysis metrics, comparison harness and table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import ComparisonRow, ComparisonTable, run_comparison
+from repro.analysis.metrics import failure_run, relative_error, speedup, summarise_runs
+from repro.analysis.robustness import run_robustness_study
+from repro.analysis.tables import format_robustness_table, format_table
+from repro.baselines import MonteCarlo
+from repro.core.estimator import ConvergenceTrace, EstimationResult
+from repro.problems.synthetic import LinearThresholdProblem
+
+
+def _result(method="X", pf=1e-3, sims=1000, reference=1e-3):
+    result = EstimationResult(
+        method=method, problem="p", failure_probability=pf, n_simulations=sims,
+        fom=0.1, converged=True, trace=ConvergenceTrace(),
+    )
+    result.metadata["reference"] = reference
+    return result
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(1.2e-3, 1e-3) == pytest.approx(0.2)
+
+    def test_relative_error_requires_positive_reference(self):
+        with pytest.raises(ValueError):
+            relative_error(1e-3, 0.0)
+
+    def test_speedup(self):
+        assert speedup(1000, 100_000) == pytest.approx(100.0)
+
+    def test_failure_run_by_threshold(self):
+        assert failure_run(2e-3, 1e-3)
+        assert not failure_run(1.2e-3, 1e-3)
+        assert failure_run(0.0, 1e-3)
+
+    def test_summarise_runs(self):
+        results = [_result(pf=1.1e-3), _result(pf=0.9e-3), _result(pf=5e-3)]
+        summary = summarise_runs(results, reference=1e-3, mc_simulations=100_000)
+        assert summary["n_runs"] == 3
+        assert summary["n_failed"] == 1
+        assert summary["average_relative_error"] == pytest.approx(0.1)
+        assert summary["average_speedup"] == pytest.approx(100.0)
+
+    def test_summarise_requires_results(self):
+        with pytest.raises(ValueError):
+            summarise_runs([], reference=1e-3, mc_simulations=1)
+
+
+class TestComparisonHarness:
+    def test_run_comparison_on_analytic_problem(self):
+        estimators = {
+            "MC": MonteCarlo(fom_target=0.2, max_simulations=100_000, batch_size=20_000),
+            "MC2": MonteCarlo(fom_target=0.3, max_simulations=50_000, batch_size=10_000),
+        }
+        table = run_comparison(
+            lambda: LinearThresholdProblem(8, threshold_sigma=2.3),
+            estimators,
+            seed=0,
+        )
+        assert set(table.methods) == {"MC", "MC2"}
+        row = table.row("MC")
+        assert row.relative_error is not None and row.relative_error < 0.5
+        assert row.speedup == pytest.approx(1.0)
+        assert table.reference == pytest.approx(
+            LinearThresholdProblem(8, threshold_sigma=2.3).true_failure_probability
+        )
+
+    def test_best_method(self):
+        table = ComparisonTable(problem="p", reference=1e-3)
+        table.rows.append(ComparisonRow("A", 1.5e-3, 0.5, 10, 1.0, True, _result("A")))
+        table.rows.append(ComparisonRow("B", 1.1e-3, 0.1, 10, 1.0, True, _result("B")))
+        assert table.best_method() == "B"
+
+    def test_missing_row_lookup(self):
+        table = ComparisonTable(problem="p", reference=None)
+        with pytest.raises(KeyError):
+            table.row("missing")
+
+
+class TestRobustnessStudy:
+    def test_monte_carlo_is_robust_on_easy_problem(self):
+        summaries = run_robustness_study(
+            lambda: LinearThresholdProblem(6, threshold_sigma=2.0),
+            {"MC": lambda: MonteCarlo(fom_target=0.2, max_simulations=50_000, batch_size=10_000)},
+            n_repetitions=3,
+            seed=1,
+        )
+        summary = summaries["MC"]
+        assert summary.n_runs == 3
+        assert summary.n_failed == 0
+        assert summary.average_relative_error < 0.5
+        assert summary.failure_ratio == "0/3"
+
+    def test_requires_reference(self):
+        from repro.problems.base import FunctionProblem
+
+        with pytest.raises(ValueError):
+            run_robustness_study(
+                lambda: FunctionProblem(2, lambda x: x.sum(axis=1), np.array([1.0])),
+                {"MC": lambda: MonteCarlo(max_simulations=100)},
+                n_repetitions=1,
+            )
+
+
+class TestTables:
+    def test_format_table_contains_methods_and_reference(self):
+        table = ComparisonTable(problem="sram_108", reference=1.1e-4)
+        table.rows.append(ComparisonRow("MC", 1.1e-4, 0.0, 100_000, 1.0, True, _result("MC")))
+        table.rows.append(ComparisonRow("OPTIMIS", 1.0e-4, 0.09, 5_000, 20.0, True, _result("OPTIMIS")))
+        text = format_table(table)
+        assert "sram_108" in text
+        assert "OPTIMIS" in text
+        assert "20.00x" in text
+
+    def test_format_table_handles_missing_values(self):
+        table = ComparisonTable(problem="p", reference=None)
+        table.rows.append(ComparisonRow("A", 0.0, None, 10, None, False, _result("A")))
+        text = format_table(table)
+        assert "A" in text and "-" in text
+
+    def test_format_robustness_table(self):
+        summaries = {
+            "MC": type("S", (), {"average_relative_error": 0.05, "average_speedup": 1.0,
+                                 "failure_ratio": "0/10"})(),
+        }
+        text = format_robustness_table(summaries)
+        assert "MC" in text and "0/10" in text

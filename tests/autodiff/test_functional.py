@@ -1,0 +1,91 @@
+"""Tests for repro.autodiff.functional."""
+
+import numpy as np
+import pytest
+from scipy.special import logsumexp as scipy_logsumexp, softmax as scipy_softmax
+
+from repro.autodiff import (
+    Tensor,
+    concatenate,
+    log_softmax,
+    logsumexp,
+    softmax,
+    stack,
+    where,
+)
+from repro.autodiff.grad_check import gradient_check
+
+
+def _param(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).standard_normal(shape), requires_grad=True)
+
+
+class TestConcatenateStack:
+    def test_concatenate_values(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concatenate_gradients(self):
+        a, b = _param((2, 2), 0), _param((2, 3), 1)
+        assert gradient_check(lambda i: (concatenate(i, axis=1) ** 2).sum(), [a, b])
+
+    def test_concatenate_axis0_gradients(self):
+        a, b = _param((2, 3), 0), _param((4, 3), 1)
+        assert gradient_check(lambda i: (concatenate(i, axis=0) ** 2).sum(), [a, b])
+
+    def test_stack_values_and_gradients(self):
+        a, b = _param((3,), 0), _param((3,), 1)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        assert gradient_check(lambda i: (stack(i, axis=0) ** 2).sum(), [a, b])
+
+
+class TestWhere:
+    def test_selects_values(self):
+        cond = np.array([True, False, True])
+        out = where(cond, Tensor(np.ones(3)), Tensor(np.zeros(3)))
+        np.testing.assert_array_equal(out.data, [1.0, 0.0, 1.0])
+
+    def test_gradients_masked(self):
+        cond = np.array([True, False])
+        a, b = _param((2,), 0), _param((2,), 1)
+        out = where(cond, a * 2.0, b * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 3.0])
+
+
+class TestSoftmaxFamily:
+    def test_softmax_matches_scipy(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        np.testing.assert_allclose(softmax(Tensor(x)).data, scipy_softmax(x, axis=-1), rtol=1e-10)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(6, 3)) * 10)
+        np.testing.assert_allclose(softmax(x).data.sum(axis=-1), np.ones(6))
+
+    def test_softmax_gradient(self):
+        a = _param((3, 4), 2)
+        assert gradient_check(lambda i: (softmax(i[0]) ** 2).sum(), [a])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = np.random.default_rng(3).normal(size=(2, 6))
+        np.testing.assert_allclose(
+            log_softmax(Tensor(x)).data, np.log(scipy_softmax(x, axis=-1)), rtol=1e-8
+        )
+
+    def test_logsumexp_matches_scipy(self):
+        x = np.random.default_rng(4).normal(size=(3, 7)) * 5
+        np.testing.assert_allclose(
+            logsumexp(Tensor(x), axis=-1).data, scipy_logsumexp(x, axis=-1), rtol=1e-10
+        )
+
+    def test_logsumexp_gradient(self):
+        a = _param((2, 5), 5)
+        assert gradient_check(lambda i: logsumexp(i[0], axis=-1).sum(), [a])
+
+    def test_softmax_stable_for_large_inputs(self):
+        x = Tensor(np.array([[1e4, 1e4 + 1.0]]))
+        out = softmax(x).data
+        assert np.all(np.isfinite(out))

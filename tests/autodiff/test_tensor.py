@@ -1,0 +1,202 @@
+"""Tests for the reverse-mode autodiff engine (Tensor class)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, no_grad
+from repro.autodiff.grad_check import gradient_check
+
+
+def _param(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(scale * rng.standard_normal(shape), requires_grad=True)
+
+
+class TestBasics:
+    def test_data_is_float64(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = _param((2, 2))
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_non_scalar_needs_grad_argument(self):
+        t = _param((3,))
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_len_and_shape(self):
+        t = Tensor(np.zeros((4, 2)))
+        assert len(t) == 4
+        assert t.shape == (4, 2)
+        assert t.ndim == 2
+        assert t.size == 8
+
+
+class TestArithmeticGradients:
+    def test_add_sub_mul_div(self):
+        a, b = _param((3, 4), 0), _param((3, 4), 1)
+
+        def f(inputs):
+            x, y = inputs
+            return ((x + y) * (x - y) / (y * y + 2.0)).sum()
+
+        assert gradient_check(f, [a, b])
+
+    def test_broadcast_add(self):
+        a, b = _param((3, 4), 0), _param((4,), 1)
+        assert gradient_check(lambda i: (i[0] + i[1]).sum(), [a, b])
+
+    def test_broadcast_mul_scalar_tensor(self):
+        a, b = _param((2, 3), 0), _param((1,), 1)
+        assert gradient_check(lambda i: (i[0] * i[1]).sum(), [a, b])
+
+    def test_pow(self):
+        a = Tensor(np.abs(np.random.default_rng(0).normal(size=(5,))) + 0.5, requires_grad=True)
+        assert gradient_check(lambda i: (i[0] ** 3).sum(), [a])
+
+    def test_neg_and_rsub(self):
+        a = _param((4,))
+        assert gradient_check(lambda i: (1.0 - (-i[0])).sum(), [a])
+
+    def test_rdiv(self):
+        a = Tensor(np.abs(np.random.default_rng(0).normal(size=(5,))) + 1.0, requires_grad=True)
+        assert gradient_check(lambda i: (2.0 / i[0]).sum(), [a])
+
+    def test_matmul(self):
+        a, b = _param((3, 4), 0), _param((4, 2), 1)
+        assert gradient_check(lambda i: (i[0] @ i[1]).sum(), [a, b])
+
+    def test_matmul_chain(self):
+        a, b, c = _param((2, 3), 0), _param((3, 3), 1), _param((3, 2), 2)
+        assert gradient_check(lambda i: (i[0] @ i[1] @ i[2]).sum(), [a, b, c])
+
+
+class TestElementwiseGradients:
+    def test_exp_log(self):
+        a = Tensor(np.abs(np.random.default_rng(0).normal(size=(6,))) + 0.5, requires_grad=True)
+        assert gradient_check(lambda i: (i[0].log() + i[0].exp()).sum(), [a])
+
+    def test_tanh_sigmoid_relu_softplus(self):
+        a = _param((4, 4), 3)
+
+        def f(inputs):
+            x = inputs[0]
+            return (x.tanh() + x.sigmoid() + x.softplus()).sum() + (x.relu() * 0.5).sum()
+
+        assert gradient_check(f, [a])
+
+    def test_abs(self):
+        a = Tensor(np.array([1.0, -2.0, 3.0]), requires_grad=True)
+        assert gradient_check(lambda i: i[0].abs().sum(), [a])
+
+    def test_sqrt(self):
+        a = Tensor(np.array([1.0, 4.0, 9.0]), requires_grad=True)
+        out = a.sqrt()
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_clip_gradient_masking(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        out = a.clip(-1.0, 1.0)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor(np.array([-800.0, 800.0]))
+        out = a.sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_softplus_extreme_values_stable(self):
+        a = Tensor(np.array([-800.0, 800.0]))
+        out = a.softplus().data
+        assert np.all(np.isfinite(out))
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis_keepdims(self):
+        a = _param((3, 4), 2)
+        assert gradient_check(lambda i: (i[0].sum(axis=0, keepdims=True) ** 2).sum(), [a])
+
+    def test_sum_all(self):
+        a = _param((3, 4), 2)
+        assert gradient_check(lambda i: i[0].sum() * 2.0, [a])
+
+    def test_mean(self):
+        a = _param((5, 2), 4)
+        out = a.mean()
+        np.testing.assert_allclose(out.data, a.data.mean())
+        assert gradient_check(lambda i: i[0].mean(axis=1).sum(), [a])
+
+    def test_max_gradient_goes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape_roundtrip(self):
+        a = _param((2, 6), 5)
+        assert gradient_check(lambda i: (i[0].reshape((3, 4)) ** 2).sum(), [a])
+
+    def test_transpose(self):
+        a = _param((2, 3), 6)
+        out = a.T
+        assert out.shape == (3, 2)
+        assert gradient_check(lambda i: (i[0].T @ i[0]).sum(), [a])
+
+    def test_getitem_rows(self):
+        a = _param((5, 3), 7)
+        assert gradient_check(lambda i: (i[0][1:4] ** 2).sum(), [a])
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        out = a[idx]
+        out.sum().backward()
+        # Row 0 selected twice -> gradient 2; row 1 never -> 0.
+        np.testing.assert_allclose(a.grad, [[2.0, 2.0], [0.0, 0.0], [1.0, 1.0]])
+
+
+class TestGraphBehaviour:
+    def test_gradient_accumulates_over_multiple_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        out = a * a + a * 3.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [2 * 2.0 + 3.0])
+
+    def test_zero_grad(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        with no_grad():
+            out = a * 3.0
+        assert not out.requires_grad
+
+    def test_comparison_returns_numpy(self):
+        a = Tensor(np.array([1.0, 3.0]))
+        mask = a > 2.0
+        assert isinstance(mask, np.ndarray)
+        np.testing.assert_array_equal(mask, [False, True])
+
+    def test_diamond_graph_gradients(self):
+        a = Tensor(np.array([1.5]), requires_grad=True)
+        b = a * 2.0
+        c = a * 3.0
+        out = (b * c).sum()  # 6 a^2 -> d/da = 12 a
+        out.backward()
+        np.testing.assert_allclose(a.grad, [12 * 1.5])

@@ -1,0 +1,184 @@
+"""Integration tests: every estimator produces sensible results on analytic problems.
+
+The analytic problems have closed-form failure probabilities, so these tests
+check end-to-end correctness of each method: the estimate must land within a
+loose factor of the truth with a bounded simulation budget, the simulation
+accounting must be consistent, and multi-region problems must expose the
+documented weaknesses/strengths (e.g. single-shift methods underestimate,
+clustering methods do not).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ACS, AIS, ASDK, HSCS, LRTA, MNIS, MonteCarlo
+from repro.baselines.hscs import spherical_kmeans
+from repro.problems.synthetic import LinearThresholdProblem, MultiRegionProblem
+
+
+def _linear_problem():
+    return LinearThresholdProblem(12, threshold_sigma=2.8)
+
+
+def _multi_problem():
+    return MultiRegionProblem(12, n_regions=4, threshold_sigma=3.0)
+
+
+class TestMonteCarlo:
+    def test_converges_to_truth(self):
+        problem = _linear_problem()
+        result = MonteCarlo(fom_target=0.1, max_simulations=2_000_000,
+                            batch_size=100_000).estimate(problem, seed=0)
+        assert result.converged
+        assert result.relative_error() < 0.3
+        assert result.n_simulations == problem.simulation_count
+
+    def test_budget_exhaustion_reported(self):
+        problem = LinearThresholdProblem(6, threshold_sigma=4.5)
+        result = MonteCarlo(fom_target=0.1, max_simulations=5_000,
+                            batch_size=1_000).estimate(problem, seed=1)
+        assert not result.converged
+        assert result.n_simulations == 5_000
+
+    def test_trace_is_monotone_in_simulations(self):
+        result = MonteCarlo(fom_target=0.2, max_simulations=200_000,
+                            batch_size=50_000).estimate(_linear_problem(), seed=2)
+        sims = result.trace.n_simulations
+        assert np.all(np.diff(sims) > 0)
+
+
+class TestMNIS:
+    def test_reasonable_on_single_region(self):
+        result = MNIS(fom_target=0.1, max_simulations=60_000).estimate(_linear_problem(), seed=3)
+        assert result.failure_probability > 0
+        assert result.relative_error() < 1.0
+
+    def test_underestimates_multi_region(self):
+        """A single shifted Gaussian misses most of four symmetric regions."""
+        problem = _multi_problem()
+        result = MNIS(fom_target=0.1, max_simulations=30_000).estimate(problem, seed=4)
+        assert result.failure_probability < problem.true_failure_probability
+
+    def test_zero_failures_in_presampling_handled(self):
+        problem = LinearThresholdProblem(6, threshold_sigma=12.0)
+        result = MNIS(max_simulations=3_000, presample_budget=1_000).estimate(problem, seed=5)
+        assert result.failure_probability == 0.0
+        assert not result.converged
+
+
+class TestHSCS:
+    def test_spherical_kmeans_separates_directions(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(50, 3)) * 0.1 + np.array([5.0, 0.0, 0.0])
+        b = rng.normal(size=(50, 3)) * 0.1 + np.array([-5.0, 0.0, 0.0])
+        labels, centroids = spherical_kmeans(np.vstack([a, b]), 2, rng)
+        assert len(np.unique(labels[:50])) == 1
+        assert len(np.unique(labels[50:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_covers_multiple_regions(self):
+        problem = _multi_problem()
+        result = HSCS(fom_target=0.1, max_simulations=60_000,
+                      n_clusters=4).estimate(problem, seed=6)
+        assert result.failure_probability > 0
+        # Clustering should recover clearly more than a single region's share.
+        assert result.failure_probability > 0.3 * problem.true_failure_probability
+
+    def test_metadata_reports_clusters(self):
+        result = HSCS(max_simulations=20_000).estimate(_multi_problem(), seed=7)
+        assert 1 <= result.metadata["n_clusters"] <= 4
+
+
+class TestAIS:
+    def test_accurate_on_single_region(self):
+        result = AIS(fom_target=0.1, max_simulations=60_000).estimate(_linear_problem(), seed=8)
+        assert result.failure_probability > 0
+        assert result.relative_error() < 0.6
+
+    def test_display_name_marks_onion_variant(self):
+        assert AIS().display_name == "AIS"
+        assert AIS(presampler="onion").display_name == "AIS+"
+
+    def test_onion_presampler_variant_runs(self):
+        result = AIS(max_simulations=30_000, presampler="onion").estimate(
+            _linear_problem(), seed=9
+        )
+        assert result.metadata["presampler"] == "onion"
+        assert result.failure_probability >= 0
+
+    def test_invalid_presampler(self):
+        with pytest.raises(ValueError):
+            AIS(presampler="magic")
+
+
+class TestACS:
+    def test_covers_multiple_regions(self):
+        problem = _multi_problem()
+        result = ACS(fom_target=0.1, max_simulations=60_000).estimate(problem, seed=10)
+        # A single-shift method recovers ~1/4 of Pf on this problem; the
+        # clustered mixture should do at least somewhat better than that even
+        # on an unlucky seed.
+        assert result.failure_probability > 0.15 * problem.true_failure_probability
+
+    def test_display_name(self):
+        assert ACS(presampler="onion").display_name == "ACS+"
+
+
+class TestSurrogates:
+    def test_lrta_produces_estimate(self):
+        problem = _linear_problem()
+        result = LRTA(max_simulations=15_000, initial_samples=1_500,
+                      surrogate_population=50_000, max_rounds=6).estimate(problem, seed=11)
+        assert result.failure_probability > 0
+        assert result.n_simulations <= 15_000
+
+    def test_lrta_surrogate_fits_linear_function(self):
+        from repro.baselines.lrta import LowRankTensorSurrogate
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((500, 6))
+        y = 2.0 * x[:, 0] - 1.0 * x[:, 3] + 0.5
+        surrogate = LowRankTensorSurrogate(rank=2, degree=2).fit(x, y)
+        prediction = surrogate.predict(x)
+        correlation = np.corrcoef(prediction, y)[0, 1]
+        assert correlation > 0.95
+
+    def test_hermite_design_orthogonality(self):
+        from repro.baselines.lrta import hermite_design
+
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(200_000)
+        design = hermite_design(x, 3)
+        # Probabilists' Hermite polynomials are orthogonal under N(0,1):
+        # E[He_i He_j] = i! δ_ij.
+        gram = design.T @ design / x.shape[0]
+        assert abs(gram[1, 2]) < 0.1
+        assert gram[2, 2] == pytest.approx(2.0, abs=0.2)
+
+    def test_asdk_produces_estimate(self):
+        problem = _linear_problem()
+        result = ASDK(max_simulations=6_000, initial_samples=800,
+                      surrogate_population=20_000, max_rounds=4,
+                      max_gp_points=500).estimate(problem, seed=12)
+        assert result.n_simulations <= 6_000
+        assert result.failure_probability >= 0
+
+    def test_asdk_feature_selection_finds_active_dimensions(self):
+        from repro.baselines.asdk import shrinkage_feature_selection
+
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2000, 30))
+        y = 3.0 * x[:, 4] - 2.0 * x[:, 17] + 0.1 * rng.standard_normal(2000)
+        selected = shrinkage_feature_selection(x, y, n_features=2)
+        assert set(selected) == {4, 17}
+
+    def test_asdk_gp_interpolates(self):
+        from repro.baselines.asdk import GaussianProcessRegressor
+
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((80, 2))
+        y = np.sin(x[:, 0]) + x[:, 1] ** 2
+        gp = GaussianProcessRegressor(noise_variance=1e-6).fit(x, y)
+        mean, std = gp.predict(x, return_std=True)
+        np.testing.assert_allclose(mean, y, atol=0.05)
+        assert np.all(std >= 0)

@@ -1,0 +1,96 @@
+"""Tests for the shared pre-sampling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.presampling import (
+    coordinate_norm_minimisation,
+    find_failure_samples,
+    minimum_norm_failure_point,
+    refine_toward_origin,
+    stochastic_norm_minimisation,
+)
+from repro.problems.synthetic import LinearThresholdProblem, MultiRegionProblem
+
+
+class TestFindFailureSamples:
+    def test_scaled_sigma_finds_failures(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=3.0)
+        rng = np.random.default_rng(0)
+        result = find_failure_samples(problem, 20, rng, max_simulations=10_000)
+        assert result.n_failures >= 20
+        assert result.n_simulations <= 10_000
+        # All reported samples really fail.
+        problem.reset_count()
+        assert problem.indicator(result.failure_samples).all()
+
+    def test_budget_respected_when_no_failures(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=30.0)
+        rng = np.random.default_rng(1)
+        result = find_failure_samples(problem, 5, rng, max_simulations=2000)
+        assert result.n_failures == 0
+        assert result.n_simulations == 2000
+
+    def test_scale_grows_when_nothing_found(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=30.0)
+        rng = np.random.default_rng(2)
+        result = find_failure_samples(problem, 5, rng, max_simulations=3000,
+                                      initial_scale=1.0, scale_growth=2.0, max_scale=6.0)
+        assert result.scale_used > 1.0
+
+    def test_onion_presampler(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=2.5)
+        rng = np.random.default_rng(3)
+        result = find_failure_samples(problem, 10, rng, method="onion", max_simulations=4000)
+        assert result.scale_used == 0.0
+        assert result.n_simulations <= 4000
+
+    def test_unknown_method(self):
+        problem = LinearThresholdProblem(4)
+        with pytest.raises(ValueError):
+            find_failure_samples(problem, 5, np.random.default_rng(0), method="grid")
+
+
+class TestNormMinimisation:
+    def test_minimum_norm_failure_point(self):
+        samples = np.array([[3.0, 0.0], [1.0, 1.0], [5.0, 5.0]])
+        np.testing.assert_array_equal(minimum_norm_failure_point(samples), [1.0, 1.0])
+
+    def test_minimum_norm_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_norm_failure_point(np.empty((0, 3)))
+
+    def test_refine_toward_origin_stays_failure_and_shrinks(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=3.0)
+        start = problem.norm_minimisation_point() * 2.0  # failure, far out
+        refined = refine_toward_origin(problem, start, n_bisections=15)
+        assert problem.indicator(refined[None, :])[0] == 1
+        assert np.linalg.norm(refined) < np.linalg.norm(start)
+        # The boundary along this ray is at exactly the NM point.
+        assert np.linalg.norm(refined) == pytest.approx(3.0, rel=1e-2)
+
+    def test_stochastic_norm_minimisation_reduces_norm(self):
+        problem = LinearThresholdProblem(16, threshold_sigma=3.0)
+        rng = np.random.default_rng(0)
+        # A failure point with large lateral components.
+        start = problem.norm_minimisation_point() + 2.0 * rng.standard_normal(16)
+        start = start * 1.5
+        if not problem.indicator(start[None, :])[0]:
+            start = problem.norm_minimisation_point() * 2.0
+        refined = stochastic_norm_minimisation(problem, start, rng=rng, n_iterations=400)
+        assert problem.indicator(refined[None, :])[0] == 1
+        assert np.linalg.norm(refined) < np.linalg.norm(start)
+
+    def test_coordinate_norm_minimisation_respects_budget(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=2.5)
+        start = problem.norm_minimisation_point() * 2.0
+        problem.reset_count()
+        coordinate_norm_minimisation(problem, start, n_bisections=4, max_simulations=12)
+        assert problem.simulation_count <= 16
+
+    def test_invalid_inputs(self):
+        problem = LinearThresholdProblem(4)
+        with pytest.raises(ValueError):
+            stochastic_norm_minimisation(problem, np.zeros((2, 4)))
+        with pytest.raises(ValueError):
+            coordinate_norm_minimisation(problem, np.zeros((2, 4)))

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_linear_problem():
+    """An 8-dimensional analytic problem with a known failure probability."""
+    from repro.problems.synthetic import LinearThresholdProblem
+
+    return LinearThresholdProblem(8, threshold_sigma=2.5)

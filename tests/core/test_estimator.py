@@ -1,0 +1,103 @@
+"""Tests for the estimator interface and result records."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import ConvergenceTrace, EstimationResult, YieldEstimator
+from repro.problems.synthetic import LinearThresholdProblem
+
+
+class TestConvergenceTrace:
+    def test_record_and_access(self):
+        trace = ConvergenceTrace()
+        trace.record(100, 1e-3, 0.5)
+        trace.record(200, 1.2e-3, 0.3)
+        assert len(trace) == 2
+        np.testing.assert_array_equal(trace.n_simulations, [100, 200])
+        np.testing.assert_allclose(trace.failure_probabilities, [1e-3, 1.2e-3])
+        np.testing.assert_allclose(trace.foms, [0.5, 0.3])
+
+    def test_non_decreasing_counts_enforced(self):
+        trace = ConvergenceTrace()
+        trace.record(100, 1e-3, 0.5)
+        with pytest.raises(ValueError):
+            trace.record(50, 1e-3, 0.5)
+
+    def test_as_dict(self):
+        trace = ConvergenceTrace()
+        trace.record(10, 0.1, 1.0)
+        d = trace.as_dict()
+        assert d["n_simulations"] == [10]
+        assert d["failure_probability"] == [0.1]
+
+    def test_iteration(self):
+        trace = ConvergenceTrace()
+        trace.record(10, 0.1, 1.0)
+        points = list(trace)
+        assert points[0].n_simulations == 10
+
+
+class TestEstimationResult:
+    def _result(self, pf=1e-3, sims=1000):
+        return EstimationResult(
+            method="X", problem="p", failure_probability=pf, n_simulations=sims,
+            fom=0.1, converged=True,
+        )
+
+    def test_relative_error_explicit_reference(self):
+        result = self._result(pf=1.1e-3)
+        assert result.relative_error(1e-3) == pytest.approx(0.1)
+
+    def test_relative_error_from_metadata(self):
+        result = self._result(pf=2e-3)
+        result.metadata["reference"] = 1e-3
+        assert result.relative_error() == pytest.approx(1.0)
+
+    def test_relative_error_requires_reference(self):
+        with pytest.raises(ValueError):
+            self._result().relative_error()
+
+    def test_speedup_over(self):
+        fast = self._result(sims=1000)
+        slow = self._result(sims=100_000)
+        assert fast.speedup_over(slow) == pytest.approx(100.0)
+
+
+class _FixedEstimator(YieldEstimator):
+    """Minimal estimator used to test the shared estimate() wrapper."""
+
+    name = "fixed"
+
+    def _run(self, problem, rng):
+        trace = ConvergenceTrace()
+        x = problem.sample_prior(100, rng)
+        problem.indicator(x)
+        trace.record(problem.simulation_count, 0.5, 0.05)
+        return self._make_result(problem, 0.5, 0.05, trace, converged=True, custom="value")
+
+
+class TestYieldEstimatorBase:
+    def test_estimate_fills_problem_name_and_reference(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=2.5)
+        result = _FixedEstimator().estimate(problem, seed=0)
+        assert result.problem == problem.name
+        assert result.metadata["reference"] == problem.true_failure_probability
+        assert result.metadata["custom"] == "value"
+        assert result.n_simulations == 100
+
+    def test_counter_reset_between_runs(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=2.5)
+        _FixedEstimator().estimate(problem, seed=0)
+        result = _FixedEstimator().estimate(problem, seed=1)
+        assert result.n_simulations == 100
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            YieldEstimator(fom_target=-0.1)
+        with pytest.raises(ValueError):
+            YieldEstimator(max_simulations=0)
+
+    def test_base_run_not_implemented(self):
+        problem = LinearThresholdProblem(4)
+        with pytest.raises(NotImplementedError):
+            YieldEstimator().estimate(problem, seed=0)

@@ -1,0 +1,191 @@
+"""Tests for the importance-sampling estimators and accumulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import stats
+
+from repro.core.importance import (
+    ImportanceAccumulator,
+    effective_sample_size,
+    importance_sampling_estimate,
+    importance_weights,
+    monte_carlo_fom,
+    self_normalised_estimate,
+    tempered_weights,
+)
+from repro.distributions.normal import MultivariateNormal, standard_normal_logpdf
+
+
+class TestImportanceWeights:
+    def test_equal_densities_give_unit_weights(self):
+        log_p = np.array([-1.0, -2.0])
+        np.testing.assert_allclose(importance_weights(log_p, log_p), 1.0)
+
+    def test_weight_ratio(self):
+        w = importance_weights(np.array([0.0]), np.array([np.log(2.0)]))
+        np.testing.assert_allclose(w, [0.5])
+
+    def test_clipping_bounds_extreme_weights(self):
+        w = importance_weights(np.array([1000.0]), np.array([0.0]), clip=50.0)
+        assert w[0] == pytest.approx(np.exp(50.0))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            importance_weights(np.zeros(3), np.zeros(2))
+
+
+class TestEstimators:
+    def test_unit_weights_reduce_to_monte_carlo(self):
+        indicators = np.array([1, 0, 0, 1, 0])
+        pf, std = importance_sampling_estimate(indicators, np.ones(5))
+        assert pf == pytest.approx(0.4)
+
+    def test_shifted_gaussian_is_estimate_is_unbiased(self):
+        """IS with a shifted proposal reproduces a known tail probability."""
+        rng = np.random.default_rng(0)
+        dim, shift_sigma = 4, 3.0
+        true_pf = stats.norm.sf(shift_sigma)
+        proposal = MultivariateNormal(np.array([shift_sigma, 0, 0, 0]), 1.0)
+        x = proposal.sample(200_000, seed=rng)
+        indicators = (x[:, 0] > shift_sigma).astype(int)
+        weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+        pf, std = importance_sampling_estimate(indicators, weights)
+        assert abs(pf - true_pf) / true_pf < 0.05
+        assert std < 0.05 * true_pf * 5
+
+    def test_self_normalised_close_to_standard(self):
+        rng = np.random.default_rng(1)
+        proposal = MultivariateNormal(np.array([2.5, 0.0]), 1.0)
+        x = proposal.sample(100_000, seed=rng)
+        indicators = (x[:, 0] > 2.5).astype(int)
+        weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+        pf_std, _ = importance_sampling_estimate(indicators, weights)
+        pf_self, _ = self_normalised_estimate(indicators, weights)
+        assert abs(pf_std - pf_self) / pf_std < 0.1
+
+    def test_empty_inputs(self):
+        pf, std = importance_sampling_estimate(np.array([], dtype=int), np.array([]))
+        assert pf == 0.0 and std == np.inf
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            importance_sampling_estimate(np.array([1]), np.array([-1.0]))
+
+    def test_self_normalised_zero_weights(self):
+        pf, std = self_normalised_estimate(np.array([1, 0]), np.zeros(2))
+        assert pf == 0.0 and std == np.inf
+
+
+class TestEffectiveSampleSize:
+    def test_uniform_weights_full_ess(self):
+        assert effective_sample_size(np.ones(50)) == pytest.approx(50.0)
+
+    def test_single_dominant_weight(self):
+        weights = np.zeros(100)
+        weights[0] = 1.0
+        assert effective_sample_size(weights) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert effective_sample_size(np.array([])) == 0.0
+
+
+class TestTemperedWeights:
+    def test_uniform_log_weights_unchanged(self):
+        w = tempered_weights(np.zeros(10))
+        np.testing.assert_allclose(w, 0.1)
+
+    def test_ess_floor_respected(self):
+        log_w = np.array([0.0] * 99 + [200.0])
+        w = tempered_weights(log_w, min_ess_fraction=0.5)
+        assert effective_sample_size(w) >= 0.5 * 100 * 0.99
+
+    def test_moderate_weights_not_tempered(self):
+        rng = np.random.default_rng(0)
+        log_w = rng.normal(scale=0.1, size=50)
+        w = tempered_weights(log_w, min_ess_fraction=0.25)
+        expected = np.exp(log_w - log_w.max())
+        expected = expected / expected.sum()
+        np.testing.assert_allclose(w, expected, rtol=1e-6)
+
+    def test_normalised(self):
+        w = tempered_weights(np.random.default_rng(1).normal(size=30) * 10)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            tempered_weights(np.array([]))
+        with pytest.raises(ValueError):
+            tempered_weights(np.zeros(3), min_ess_fraction=0.0)
+
+    @given(scale=st.floats(min_value=0.1, max_value=100.0),
+           n=st.integers(min_value=2, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_property_ess_always_above_floor(self, scale, n):
+        rng = np.random.default_rng(0)
+        w = tempered_weights(rng.normal(size=n) * scale, min_ess_fraction=0.25)
+        assert w.sum() == pytest.approx(1.0)
+        assert effective_sample_size(w) >= 0.25 * n * 0.95
+
+
+class TestMonteCarloFom:
+    def test_matches_binomial_formula(self):
+        assert monte_carlo_fom(0.01, 10_000) == pytest.approx(np.sqrt(0.99 / 100))
+
+    def test_infinite_before_first_failure(self):
+        assert monte_carlo_fom(0.0, 100) == np.inf
+
+    def test_decreases_with_samples(self):
+        assert monte_carlo_fom(0.01, 100_000) < monte_carlo_fom(0.01, 10_000)
+
+
+class TestImportanceAccumulator:
+    def test_matches_batch_estimate(self):
+        rng = np.random.default_rng(0)
+        indicators = (rng.uniform(size=1000) < 0.1).astype(int)
+        weights = rng.uniform(0.5, 1.5, size=1000)
+        acc = ImportanceAccumulator()
+        acc.update(indicators[:400], weights[:400])
+        acc.update(indicators[400:], weights[400:])
+        pf_batch, std_batch = importance_sampling_estimate(indicators, weights)
+        assert acc.failure_probability == pytest.approx(pf_batch)
+        assert acc.standard_deviation == pytest.approx(std_batch, rel=1e-2)
+
+    def test_monte_carlo_update(self):
+        acc = ImportanceAccumulator()
+        acc.update_monte_carlo(np.array([1, 0, 0, 0]))
+        assert acc.failure_probability == pytest.approx(0.25)
+        assert acc.n_failures == 1
+
+    def test_fom_infinite_without_failures(self):
+        acc = ImportanceAccumulator()
+        acc.update_monte_carlo(np.zeros(100, dtype=int))
+        assert acc.fom == np.inf
+
+    def test_fom_decreases_with_more_data(self):
+        rng = np.random.default_rng(1)
+        acc = ImportanceAccumulator()
+        acc.update_monte_carlo((rng.uniform(size=2000) < 0.05).astype(int))
+        early = acc.fom
+        acc.update_monte_carlo((rng.uniform(size=20_000) < 0.05).astype(int))
+        assert acc.fom < early
+
+    def test_snapshot_consistency(self):
+        acc = ImportanceAccumulator()
+        acc.update_monte_carlo(np.array([1, 0, 1, 0]))
+        pf, fom = acc.snapshot()
+        assert pf == acc.failure_probability
+        assert fom == acc.fom
+
+    def test_mixed_proposal_batches_remain_consistent(self):
+        """Combining batches from different proposals stays near the truth."""
+        rng = np.random.default_rng(2)
+        true_pf = stats.norm.sf(2.5)
+        acc = ImportanceAccumulator()
+        for shift in (2.0, 2.5, 3.0):
+            proposal = MultivariateNormal(np.array([shift, 0.0]), 1.0)
+            x = proposal.sample(100_000, seed=rng)
+            indicators = (x[:, 0] > 2.5).astype(int)
+            weights = importance_weights(standard_normal_logpdf(x), proposal.log_pdf(x))
+            acc.update(indicators, weights)
+        assert abs(acc.failure_probability - true_pf) / true_pf < 0.05

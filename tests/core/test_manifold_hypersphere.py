@@ -1,0 +1,162 @@
+"""Tests for the optimal-manifold analysis and the optimal-hypersphere tools."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypersphere import (
+    OptimalHypersphereAnalysis,
+    optimal_radius,
+    shell_failure_profile,
+)
+from repro.core.manifold import (
+    fit_failure_mixture,
+    kl_divergence_to_proposal,
+    optimal_proposal_log_density,
+    variational_norm_minimisation,
+)
+from repro.distributions import GaussianMixture
+from repro.distributions.normal import standard_normal_logpdf
+
+
+class TestOptimalProposal:
+    def test_zero_density_outside_failure_region(self):
+        x = np.array([[0.0, 0.0], [5.0, 0.0]])
+        indicators = np.array([0, 1])
+        log_q = optimal_proposal_log_density(x, indicators, failure_probability=1e-3)
+        assert log_q[0] == -np.inf
+        assert np.isfinite(log_q[1])
+
+    def test_density_is_rescaled_prior(self):
+        x = np.array([[4.0, 0.0]])
+        log_q = optimal_proposal_log_density(x, np.array([1]), failure_probability=1e-2)
+        expected = standard_normal_logpdf(x)[0] - np.log(1e-2)
+        assert log_q[0] == pytest.approx(expected)
+
+    def test_invalid_pf(self):
+        with pytest.raises(ValueError):
+            optimal_proposal_log_density(np.zeros((1, 2)), np.array([1]), 0.0)
+
+    def test_mismatched_indicators(self):
+        with pytest.raises(ValueError):
+            optimal_proposal_log_density(np.zeros((2, 2)), np.array([1]), 0.5)
+
+
+class TestKLDivergence:
+    def test_better_proposal_has_lower_objective(self):
+        rng = np.random.default_rng(0)
+        failures = rng.normal(size=(200, 2)) + np.array([4.0, 0.0])
+        good = GaussianMixture(np.array([[4.0, 0.0]]), stds=1.0)
+        bad = GaussianMixture(np.array([[-4.0, 0.0]]), stds=1.0)
+        assert kl_divergence_to_proposal(failures, good) < kl_divergence_to_proposal(failures, bad)
+
+    def test_weighted_version(self):
+        failures = np.array([[4.0, 0.0], [-4.0, 0.0]])
+        proposal = GaussianMixture(np.array([[4.0, 0.0]]), stds=1.0)
+        skewed = kl_divergence_to_proposal(failures, proposal, failure_log_weights=np.array([0.0, -50.0]))
+        balanced = kl_divergence_to_proposal(failures, proposal)
+        assert skewed < balanced
+
+    def test_invalid_weights(self):
+        failures = np.zeros((3, 2))
+        proposal = GaussianMixture(np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            kl_divergence_to_proposal(failures, proposal, failure_log_weights=np.zeros(2))
+
+
+class TestVariationalNM:
+    def test_mean_is_weighted_failure_mean(self):
+        failures = np.array([[2.0, 0.0], [6.0, 0.0]])
+        weights = np.array([3.0, 1.0])
+        mixture = variational_norm_minimisation(failures, weights=weights)
+        np.testing.assert_allclose(mixture.means[0], [3.0, 0.0])
+
+    def test_single_component(self):
+        mixture = variational_norm_minimisation(np.random.default_rng(0).normal(size=(10, 3)))
+        assert mixture.n_components == 1
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            variational_norm_minimisation(np.zeros((3, 2)), weights=np.array([1.0, 1.0]))
+
+
+class TestFitFailureMixture:
+    def test_recovers_two_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(size=(150, 2)) * 0.5 + np.array([5.0, 0.0])
+        cluster_b = rng.normal(size=(150, 2)) * 0.5 + np.array([-5.0, 0.0])
+        failures = np.concatenate([cluster_a, cluster_b])
+        mixture = fit_failure_mixture(failures, n_components=2, seed=1)
+        centres = np.sort(mixture.means[:, 0])
+        assert centres[0] < -4.0
+        assert centres[1] > 4.0
+        np.testing.assert_allclose(mixture.weights, 0.5, atol=0.1)
+
+    def test_component_std_adapts(self):
+        rng = np.random.default_rng(1)
+        failures = rng.normal(size=(300, 3)) * 2.0 + 4.0
+        mixture = fit_failure_mixture(failures, n_components=1, seed=0)
+        assert 1.0 < mixture.stds[0, 0] < 3.0
+
+    def test_fixed_component_std(self):
+        rng = np.random.default_rng(2)
+        failures = rng.normal(size=(50, 2)) + 3.0
+        mixture = fit_failure_mixture(failures, n_components=2, component_std=0.8, seed=0)
+        np.testing.assert_allclose(mixture.stds, 0.8)
+
+    def test_more_components_than_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_failure_mixture(np.zeros((3, 2)), n_components=5)
+
+    def test_weighted_fit_shifts_towards_heavy_points(self):
+        failures = np.array([[5.0, 0.0]] * 10 + [[-5.0, 0.0]] * 10)
+        weights = np.array([1.0] * 10 + [1e-6] * 10)
+        mixture = fit_failure_mixture(failures, n_components=1, weights=weights, seed=0)
+        assert mixture.means[0, 0] > 4.0
+
+
+class TestShellProfile:
+    def _ring_data(self, n=20_000, fail_radius=3.0, dim=2, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, dim)) * 1.5
+        indicators = (np.linalg.norm(x, axis=1) > fail_radius).astype(int)
+        return x, indicators
+
+    def test_profile_counts_sum_to_samples_inside_outermost_shell(self):
+        x, indicators = self._ring_data()
+        radii = np.array([1.0, 2.0, 3.0, 4.0, 10.0])
+        profile = shell_failure_profile(x, indicators, radii)
+        assert sum(s.n_samples for s in profile) == np.sum(np.linalg.norm(x, axis=1) <= 10.0)
+
+    def test_uniform_failure_rate_transitions_at_boundary(self):
+        x, indicators = self._ring_data()
+        radii = np.array([1.0, 2.0, 3.0, 4.0, 6.0])
+        profile = shell_failure_profile(x, indicators, radii)
+        assert profile[0].uniform_failure_rate == 0.0
+        assert profile[-1].uniform_failure_rate == 1.0
+
+    def test_prior_mass_sums_to_one_with_full_cover(self):
+        x, indicators = self._ring_data()
+        radii = np.array([1.0, 2.0, 3.0, 50.0])
+        profile = shell_failure_profile(x, indicators, radii)
+        assert sum(s.prior_mass for s in profile) == pytest.approx(1.0, abs=1e-9)
+
+    def test_optimal_radius_near_failure_boundary(self):
+        x, indicators = self._ring_data(n=100_000)
+        analysis = OptimalHypersphereAnalysis(dim=2, n_shells=30)
+        radius = analysis.optimal_radius(x, indicators)
+        # The failure mass of a ring-at-3 problem concentrates just outside 3.
+        assert 2.5 < radius < 4.5
+
+    def test_optimal_radius_without_failures_returns_outermost(self):
+        x = np.random.default_rng(0).standard_normal((100, 2))
+        profile = shell_failure_profile(x, np.zeros(100, dtype=int), [1.0, 2.0, 3.0])
+        assert optimal_radius(profile) == pytest.approx(2.5)
+
+    def test_invalid_radii(self):
+        x = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            shell_failure_profile(x, np.zeros(5, dtype=int), [2.0, 1.0])
+        with pytest.raises(ValueError):
+            shell_failure_profile(x, np.zeros(5, dtype=int), [])
+        with pytest.raises(ValueError):
+            optimal_radius([])

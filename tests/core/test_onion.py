@@ -1,0 +1,149 @@
+"""Tests for onion sampling (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.onion import OnionResult, OnionSampler
+from repro.distributions.normal import standard_normal_logpdf
+from repro.problems.synthetic import LinearThresholdProblem, QuadraticProblem
+from repro.problems.toy import ring_problem, two_region_problem
+
+
+class TestOnionSampler:
+    def test_collects_failure_samples_on_ring_problem(self):
+        problem = ring_problem(radius=3.0)
+        sampler = OnionSampler(n_shells=10, samples_per_shell=200, stop_threshold=0.05,
+                               max_simulations=5000)
+        result = sampler.sample(problem, seed=0)
+        assert result.n_failures > 50
+        # Every reported failure sample really is a failure.
+        problem.reset_count()
+        np.testing.assert_array_equal(
+            problem.indicator(result.failure_samples), np.ones(result.n_failures, dtype=int)
+        )
+
+    def test_respects_max_simulations(self):
+        problem = ring_problem(radius=3.0)
+        sampler = OnionSampler(n_shells=10, samples_per_shell=500, max_simulations=1200)
+        result = sampler.sample(problem, seed=0)
+        assert result.n_simulations <= 1200
+        assert problem.simulation_count == result.n_simulations
+
+    def test_inward_scan_stops_after_boundary(self):
+        """For a ring problem the scan stops once shells are inside the ring."""
+        problem = ring_problem(radius=4.0)
+        sampler = OnionSampler(n_shells=20, samples_per_shell=100, stop_threshold=0.05,
+                               max_simulations=20_000)
+        result = sampler.sample(problem, seed=1)
+        assert result.stopped_early
+        # It should not have visited all 20 shells.
+        assert len(result.shell_statistics) < 20
+
+    def test_uniform_failure_rates_recorded(self):
+        problem = ring_problem(radius=3.5)
+        sampler = OnionSampler(n_shells=8, samples_per_shell=100, max_simulations=2000)
+        result = sampler.sample(problem, seed=2)
+        rates = result.uniform_failure_rates
+        assert rates.shape[0] == len(result.shell_statistics)
+        assert np.all((rates >= 0) & (rates <= 1))
+
+    def test_outward_scan_option(self):
+        problem = ring_problem(radius=3.0)
+        sampler = OnionSampler(n_shells=10, samples_per_shell=100, inward=False,
+                               max_simulations=2000, stop_threshold=0.0)
+        result = sampler.sample(problem, seed=3)
+        first_shell = result.shell_statistics[0]
+        assert first_shell.r_inner == pytest.approx(0.0)
+
+    def test_failure_log_draw_density_matches_samples(self):
+        problem = two_region_problem(shift=2.5)
+        sampler = OnionSampler(n_shells=10, samples_per_shell=300, max_simulations=3000)
+        result = sampler.sample(problem, seed=4)
+        assert result.failure_log_draw_density.shape == (result.n_failures,)
+        assert np.all(np.isfinite(result.failure_log_draw_density))
+
+    def test_importance_reweighting_recovers_failure_probability(self):
+        """Onion samples + draw densities give an unbiased Pf estimate.
+
+        Each shell's samples are uniform in that shell, so
+        E[I(x) p(x) / q_shell(x)] over a shell equals the failure mass inside
+        it; summing over all shells (scanned without early stopping) and
+        weighting by shell mass recovers Pf.  This validates the recorded
+        draw densities end-to-end.
+        """
+        problem = ring_problem(radius=3.0)
+        sampler = OnionSampler(
+            n_shells=12, samples_per_shell=4000, stop_threshold=0.0, max_simulations=48_000
+        )
+        result = sampler.sample(problem, seed=5)
+        # Reconstruct the estimate shell by shell.
+        estimate = 0.0
+        for stats in result.shell_statistics:
+            norms = np.linalg.norm(result.all_samples, axis=1)
+            inside = (norms > stats.r_inner) & (norms <= stats.r_outer)
+            samples = result.all_samples[inside]
+            indicators = result.all_indicators[inside]
+            if samples.shape[0] == 0:
+                continue
+            from repro.distributions.radial import log_shell_volume
+
+            log_q = -log_shell_volume(2, stats.r_inner, stats.r_outer)
+            weights = np.exp(standard_normal_logpdf(samples) - log_q)
+            estimate += np.mean(indicators * weights)
+        true_pf_inside = problem.true_failure_probability - np.exp(
+            -0.5 * result.shell_statistics[0].r_outer ** 2
+        )
+        assert estimate == pytest.approx(true_pf_inside, rel=0.15)
+
+    def test_zero_failure_problem_returns_empty(self):
+        problem = LinearThresholdProblem(4, threshold_sigma=10.0)
+        sampler = OnionSampler(n_shells=5, samples_per_shell=50, max_simulations=500)
+        result = sampler.sample(problem, seed=6)
+        assert result.n_failures == 0
+        assert result.failure_samples.shape == (0, 4)
+        assert not result.stopped_early
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OnionSampler(n_shells=0)
+        with pytest.raises(ValueError):
+            OnionSampler(stop_threshold=1.5)
+        with pytest.raises(ValueError):
+            OnionSampler(samples_per_shell=0)
+
+
+class TestRefinedOnionSampling:
+    def test_refined_collects_at_least_as_many_failures(self):
+        problem = ring_problem(radius=3.0)
+        base = OnionSampler(n_shells=10, samples_per_shell=100, max_simulations=4000)
+        plain = base.sample(problem, seed=7)
+        problem.reset_count()
+        refined = base.sample_refined(problem, seed=7, extra_budget=1000)
+        assert refined.n_failures >= plain.n_failures
+        assert refined.n_simulations > plain.n_simulations
+
+    def test_refined_without_failures_falls_back(self):
+        problem = LinearThresholdProblem(4, threshold_sigma=10.0)
+        sampler = OnionSampler(n_shells=5, samples_per_shell=50, max_simulations=400)
+        result = sampler.sample_refined(problem, seed=8)
+        assert result.n_failures == 0
+
+    def test_refined_density_bookkeeping(self):
+        problem = ring_problem(radius=3.0)
+        sampler = OnionSampler(n_shells=8, samples_per_shell=100, max_simulations=3000)
+        result = sampler.sample_refined(problem, seed=9, extra_budget=800)
+        assert result.failure_log_draw_density.shape == (result.n_failures,)
+
+
+class TestOnionHighDimension:
+    @given(dim=st.sampled_from([32, 108, 256]))
+    @settings(max_examples=3, deadline=None)
+    def test_high_dimensional_scan_is_finite_and_bounded(self, dim):
+        problem = LinearThresholdProblem(dim, threshold_sigma=2.5)
+        sampler = OnionSampler(n_shells=10, samples_per_shell=100, max_simulations=1500)
+        result = sampler.sample(problem, seed=0)
+        assert result.n_simulations <= 1500
+        assert np.all(np.isfinite(result.failure_samples))
+        if result.n_failures:
+            assert np.all(np.isfinite(result.failure_log_draw_density))

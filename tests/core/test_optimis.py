@@ -1,0 +1,143 @@
+"""Integration tests for the OPTIMIS estimator and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimis import Optimis, OptimisConfig
+from repro.flows import FlowConfig
+from repro.problems.synthetic import LinearThresholdProblem, MultiRegionProblem
+from repro.problems.toy import ring_problem, two_region_problem
+
+
+def _fast_config():
+    """A configuration small enough for the unit-test suite."""
+    config = OptimisConfig(
+        n_shells=12,
+        presample_per_shell=100,
+        presample_max_simulations=1500,
+        pullin_points=4,
+        pullin_iterations=80,
+        flow=FlowConfig(n_layers=2, n_bins=4, hidden_sizes=(24,), epochs=30,
+                        learning_rate=5e-3, weight_decay=0.1),
+        refit_epochs=15,
+        is_batch_size=500,
+        max_training_points=800,
+    )
+    return config
+
+
+class TestOptimisConfig:
+    def test_defaults_validate(self):
+        OptimisConfig().validate()
+
+    def test_for_dimension_scales_with_problem_size(self):
+        small = OptimisConfig.for_dimension(16)
+        large = OptimisConfig.for_dimension(1093)
+        assert small.flow.epochs >= large.flow.epochs
+        assert large.presample_max_simulations >= small.presample_max_simulations
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            OptimisConfig(prior_mixture_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            OptimisConfig(training_ess_fraction=0.0).validate()
+        with pytest.raises(ValueError):
+            OptimisConfig(proposal_widening=-1.0).validate()
+        with pytest.raises((ValueError, TypeError)):
+            OptimisConfig(is_batch_size=1).validate()
+
+
+class TestOptimisOnToyProblems:
+    def test_two_region_problem_estimate(self):
+        problem = two_region_problem(shift=3.5)
+        estimator = Optimis(fom_target=0.1, max_simulations=15_000, config=_fast_config())
+        result = estimator.estimate(problem, seed=0)
+        assert result.failure_probability > 0
+        # Within a factor of two of the analytic value.
+        assert result.relative_error() < 1.0
+        assert result.n_simulations <= 15_000
+        assert result.metadata["flow_trained"]
+
+    def test_ring_problem_estimate(self):
+        problem = ring_problem(radius=4.0)
+        estimator = Optimis(fom_target=0.15, max_simulations=15_000, config=_fast_config())
+        result = estimator.estimate(problem, seed=1)
+        assert result.failure_probability > 0
+        assert result.relative_error() < 1.0
+
+    def test_trace_and_metadata_populated(self):
+        problem = two_region_problem(shift=3.0)
+        result = Optimis(fom_target=0.1, max_simulations=8_000,
+                         config=_fast_config()).estimate(problem, seed=2)
+        assert len(result.trace) >= 1
+        assert result.metadata["n_presamples"] > 0
+        assert "n_presample_failures" in result.metadata
+
+
+class TestOptimisOnHighDimensionalProblems:
+    def test_linear_16d(self):
+        problem = LinearThresholdProblem(16, threshold_sigma=3.0)
+        result = Optimis(fom_target=0.1, max_simulations=20_000,
+                         config=_fast_config()).estimate(problem, seed=3)
+        assert result.failure_probability > 0
+        assert result.relative_error() < 1.5
+
+    def test_multi_region_16d_covers_regions(self):
+        problem = MultiRegionProblem(16, n_regions=4, threshold_sigma=3.3)
+        result = Optimis(fom_target=0.1, max_simulations=20_000,
+                         config=_fast_config()).estimate(problem, seed=4)
+        # Single-shift methods recover ~25% of Pf here; the flow must do better.
+        assert result.failure_probability > 0.4 * problem.true_failure_probability
+
+    def test_budget_never_exceeded(self):
+        problem = LinearThresholdProblem(16, threshold_sigma=3.0)
+        estimator = Optimis(fom_target=0.01, max_simulations=6_000, config=_fast_config())
+        result = estimator.estimate(problem, seed=5)
+        assert result.n_simulations <= 6_000
+
+    def test_degrades_to_monte_carlo_when_no_failures_found(self):
+        """With an impossible failure level the estimator must not crash."""
+        problem = LinearThresholdProblem(8, threshold_sigma=12.0)
+        config = _fast_config()
+        config.presample_max_simulations = 500
+        result = Optimis(fom_target=0.1, max_simulations=3_000, config=config).estimate(
+            problem, seed=6
+        )
+        assert result.failure_probability == 0.0
+        assert not result.converged
+        assert not result.metadata["flow_trained"]
+
+
+class TestOptimisInternals:
+    def test_select_diverse_points_prefers_different_directions(self):
+        points = np.array([
+            [5.0, 0.0], [5.5, 0.1], [0.0, 5.0], [-5.0, 0.0], [4.9, -0.1],
+        ])
+        selected = Optimis._select_diverse_points(points, 3)
+        directions = selected / np.linalg.norm(selected, axis=1, keepdims=True)
+        similarity = directions @ directions.T
+        off_diagonal = similarity[~np.eye(3, dtype=bool)]
+        assert off_diagonal.max() < 0.99
+
+    def test_select_diverse_points_returns_all_when_few(self):
+        points = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert Optimis._select_diverse_points(points, 5).shape == (2, 2)
+
+    def test_pull_in_produces_failure_points_closer_to_origin(self):
+        problem = LinearThresholdProblem(8, threshold_sigma=3.0)
+        estimator = Optimis(max_simulations=5_000, config=_fast_config())
+        from repro.core.onion import OnionSampler
+
+        onion = OnionSampler(n_shells=10, samples_per_shell=150,
+                             max_simulations=1500).sample(problem, seed=7)
+        if onion.n_failures == 0:
+            pytest.skip("onion found no failures with this seed")
+        rng = np.random.default_rng(8)
+        pulled = estimator._pull_in_failures(problem, onion, rng)
+        if pulled.shape[0] == 0:
+            pytest.skip("pull-in collected no points")
+        problem.reset_count()
+        assert problem.indicator(pulled).all()
+        assert np.linalg.norm(pulled, axis=1).min() <= np.linalg.norm(
+            onion.failure_samples, axis=1
+        ).min() + 1e-9

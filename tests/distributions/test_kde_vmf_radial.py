@@ -1,0 +1,184 @@
+"""Tests for the KDE, von Mises–Fisher and radial distributions."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions import (
+    GaussianKDE,
+    RadialDistribution,
+    VonMisesFisher,
+    sample_uniform_ball,
+    sample_uniform_shell,
+    sample_uniform_sphere_surface,
+)
+
+
+class TestGaussianKDE:
+    def test_matches_scipy_kde_shape(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(300, 2))
+        kde = GaussianKDE(samples, bandwidth=0.5)
+        x = rng.normal(size=(50, 2))
+        log_pdf = kde.log_pdf(x)
+        assert log_pdf.shape == (50,)
+        assert np.all(np.isfinite(log_pdf))
+
+    def test_density_integrates_to_one_1d(self):
+        rng = np.random.default_rng(1)
+        kde = GaussianKDE(rng.normal(size=(200, 1)), bandwidth=0.4)
+        grid = np.linspace(-8, 8, 2001)[:, None]
+        integral = np.trapezoid(kde.pdf(grid), grid[:, 0])
+        assert abs(integral - 1.0) < 1e-2
+
+    def test_weighted_kde_shifts_mass(self):
+        samples = np.array([[0.0], [5.0]])
+        kde = GaussianKDE(samples, bandwidth=0.5, weights=np.array([0.0, 1.0]))
+        assert kde.log_pdf(np.array([[5.0]]))[0] > kde.log_pdf(np.array([[0.0]]))[0]
+
+    def test_scott_bandwidth_default(self):
+        samples = np.random.default_rng(2).normal(size=(100, 3))
+        kde = GaussianKDE(samples)
+        assert kde.bandwidth > 0
+
+    def test_sampling_concentrates_near_support(self):
+        samples = np.full((50, 2), 3.0)
+        kde = GaussianKDE(samples, bandwidth=0.1)
+        draws = kde.sample(1000, seed=0)
+        np.testing.assert_allclose(draws.mean(axis=0), 3.0, atol=0.05)
+
+    def test_batched_evaluation_matches_unbatched(self):
+        rng = np.random.default_rng(3)
+        kde = GaussianKDE(rng.normal(size=(100, 2)), bandwidth=0.7)
+        x = rng.normal(size=(77, 2))
+        np.testing.assert_allclose(kde.log_pdf(x, batch_size=10), kde.log_pdf(x, batch_size=1000))
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(np.zeros((5, 2)), weights=np.ones(3))
+
+
+class TestVonMisesFisher:
+    def test_samples_are_unit_vectors(self):
+        vmf = VonMisesFisher(np.array([1.0, 0.0, 0.0]), concentration=10.0)
+        samples = vmf.sample(500, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(samples, axis=1), 1.0, atol=1e-10)
+
+    def test_concentration_pulls_towards_mean_direction(self):
+        mu = np.array([0.0, 0.0, 1.0])
+        tight = VonMisesFisher(mu, concentration=100.0).sample(500, seed=0)
+        loose = VonMisesFisher(mu, concentration=1.0).sample(500, seed=0)
+        assert (tight @ mu).mean() > (loose @ mu).mean()
+
+    def test_log_pdf_highest_at_mean_direction(self):
+        mu = np.array([1.0, 0.0, 0.0, 0.0])
+        vmf = VonMisesFisher(mu, concentration=5.0)
+        assert vmf.log_pdf(mu[None, :])[0] > vmf.log_pdf(-mu[None, :])[0]
+
+    def test_log_pdf_normalised_on_circle(self):
+        # In 2-D the vMF reduces to the von Mises distribution on the circle.
+        vmf = VonMisesFisher(np.array([1.0, 0.0]), concentration=2.5)
+        theta = np.linspace(-np.pi, np.pi, 2001)
+        points = np.column_stack([np.cos(theta), np.sin(theta)])
+        integral = np.trapezoid(np.exp(vmf.log_pdf(points)), theta)
+        assert abs(integral - 1.0) < 1e-3
+
+    def test_mean_direction_normalised(self):
+        vmf = VonMisesFisher(np.array([0.0, 3.0]), concentration=1.0)
+        np.testing.assert_allclose(np.linalg.norm(vmf.mu), 1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            VonMisesFisher(np.zeros(3), concentration=1.0)
+        with pytest.raises(ValueError):
+            VonMisesFisher(np.ones(3), concentration=-1.0)
+        with pytest.raises(ValueError):
+            VonMisesFisher(np.array([1.0]), concentration=1.0)
+
+
+class TestRadialDistribution:
+    @pytest.mark.parametrize("dim", [1, 2, 10, 108])
+    def test_cdf_matches_chi_distribution(self, dim):
+        radial = RadialDistribution(dim)
+        r = np.linspace(0.1, 3.0 + np.sqrt(dim), 20)
+        np.testing.assert_allclose(radial.cdf(r), stats.chi.cdf(r, df=dim), atol=1e-12)
+
+    @pytest.mark.parametrize("dim", [2, 10, 569])
+    def test_inverse_cdf_roundtrip(self, dim):
+        radial = RadialDistribution(dim)
+        p = np.array([0.01, 0.25, 0.5, 0.9, 0.999])
+        np.testing.assert_allclose(radial.cdf(radial.inverse_cdf(p)), p, atol=1e-10)
+
+    def test_pdf_matches_chi(self):
+        radial = RadialDistribution(5)
+        r = np.linspace(0.1, 5, 30)
+        np.testing.assert_allclose(radial.pdf(r), stats.chi.pdf(r, df=5), rtol=1e-8)
+
+    def test_shell_radii_equal_probability(self):
+        radial = RadialDistribution(20)
+        radii = radial.shell_radii(10)
+        assert radii.shape == (10,)
+        assert np.all(np.diff(radii) > 0)
+        # The first 9 radii sit at CDF = k/10 exactly.
+        np.testing.assert_allclose(radial.cdf(radii[:9]), np.arange(1, 10) / 10, atol=1e-10)
+
+    def test_shell_probability(self):
+        radial = RadialDistribution(8)
+        total = sum(
+            radial.shell_probability(a, b)
+            for a, b in zip([0.0, 2.0, 3.0], [2.0, 3.0, 100.0])
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    def test_typical_radius_near_sqrt_dim(self):
+        radial = RadialDistribution(100)
+        assert abs(radial.typical_radius() - np.sqrt(100)) < 1.0
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            RadialDistribution(3).inverse_cdf(np.array([1.5]))
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            RadialDistribution(3).cdf(np.array([-1.0]))
+
+
+class TestUniformSamplers:
+    def test_sphere_surface_norms(self):
+        x = sample_uniform_sphere_surface(500, 10, radius=2.5, seed=0)
+        np.testing.assert_allclose(np.linalg.norm(x, axis=1), 2.5, atol=1e-10)
+
+    def test_ball_within_radius(self):
+        x = sample_uniform_ball(500, 5, radius=3.0, seed=0)
+        assert np.all(np.linalg.norm(x, axis=1) <= 3.0 + 1e-12)
+
+    def test_ball_radius_distribution(self):
+        # In 2-D, P(r < R/2) should be 1/4 for a uniform disc.
+        x = sample_uniform_ball(20_000, 2, radius=1.0, seed=1)
+        fraction = np.mean(np.linalg.norm(x, axis=1) < 0.5)
+        assert abs(fraction - 0.25) < 0.02
+
+    def test_shell_bounds(self):
+        x = sample_uniform_shell(1000, 6, r_inner=2.0, r_outer=3.0, seed=0)
+        norms = np.linalg.norm(x, axis=1)
+        assert np.all(norms >= 2.0 - 1e-9)
+        assert np.all(norms <= 3.0 + 1e-9)
+
+    def test_shell_high_dimension_stable(self):
+        x = sample_uniform_shell(100, 1093, r_inner=30.0, r_outer=36.0, seed=0)
+        assert np.all(np.isfinite(x))
+        norms = np.linalg.norm(x, axis=1)
+        assert np.all((norms >= 30.0 - 1e-6) & (norms <= 36.0 + 1e-6))
+
+    def test_shell_inner_zero_equals_ball(self):
+        x = sample_uniform_shell(500, 3, r_inner=0.0, r_outer=2.0, seed=2)
+        assert np.all(np.linalg.norm(x, axis=1) <= 2.0 + 1e-9)
+
+    def test_invalid_shell_radii(self):
+        with pytest.raises(ValueError):
+            sample_uniform_shell(10, 3, r_inner=2.0, r_outer=1.0)
+
+    def test_zero_samples(self):
+        assert sample_uniform_sphere_surface(0, 4).shape == (0, 4)
+        assert sample_uniform_ball(0, 4).shape == (0, 4)
+        assert sample_uniform_shell(0, 4, 1.0, 2.0).shape == (0, 4)

@@ -1,0 +1,128 @@
+"""Tests for the normal and Gaussian-mixture distributions."""
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.distributions import GaussianMixture, MultivariateNormal, standard_normal_logpdf
+
+
+class TestStandardNormalLogpdf:
+    def test_matches_scipy(self):
+        x = np.random.default_rng(0).normal(size=(20, 5))
+        expected = multivariate_normal(mean=np.zeros(5)).logpdf(x)
+        np.testing.assert_allclose(standard_normal_logpdf(x), expected)
+
+    def test_single_sample_promoted(self):
+        out = standard_normal_logpdf(np.zeros(3))
+        assert out.shape == (1,)
+
+
+class TestMultivariateNormal:
+    def test_log_pdf_matches_scipy(self):
+        mean = np.array([1.0, -2.0, 0.5])
+        std = np.array([0.5, 2.0, 1.0])
+        dist = MultivariateNormal(mean, std)
+        x = np.random.default_rng(0).normal(size=(30, 3))
+        expected = multivariate_normal(mean=mean, cov=np.diag(std**2)).logpdf(x)
+        np.testing.assert_allclose(dist.log_pdf(x), expected)
+
+    def test_pdf_is_exp_of_log_pdf(self):
+        dist = MultivariateNormal(np.zeros(2), 1.5)
+        x = np.random.default_rng(1).normal(size=(10, 2))
+        np.testing.assert_allclose(dist.pdf(x), np.exp(dist.log_pdf(x)))
+
+    def test_sample_moments(self):
+        dist = MultivariateNormal(np.array([3.0, -1.0]), np.array([0.5, 2.0]))
+        samples = dist.sample(50_000, seed=0)
+        np.testing.assert_allclose(samples.mean(axis=0), dist.mean, atol=0.05)
+        np.testing.assert_allclose(samples.std(axis=0), dist.std, atol=0.05)
+
+    def test_standard_factory(self):
+        dist = MultivariateNormal.standard(7)
+        assert dist.dim == 7
+        np.testing.assert_array_equal(dist.mean, np.zeros(7))
+
+    def test_shifted(self):
+        dist = MultivariateNormal.standard(3).shifted(np.ones(3))
+        np.testing.assert_array_equal(dist.mean, np.ones(3))
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal(np.zeros(2), 0.0)
+        with pytest.raises(ValueError):
+            MultivariateNormal(np.zeros(2), np.array([1.0, -1.0]))
+
+    def test_dimension_checked(self):
+        dist = MultivariateNormal.standard(3)
+        with pytest.raises(ValueError):
+            dist.log_pdf(np.zeros((2, 4)))
+
+    def test_negative_sample_count(self):
+        with pytest.raises(ValueError):
+            MultivariateNormal.standard(2).sample(-1)
+
+
+class TestGaussianMixture:
+    def _two_component(self):
+        means = np.array([[3.0, 0.0], [-3.0, 0.0]])
+        return GaussianMixture(means, stds=1.0, weights=np.array([0.25, 0.75]))
+
+    def test_log_pdf_matches_manual_mixture(self):
+        mix = self._two_component()
+        x = np.random.default_rng(0).normal(size=(20, 2))
+        component_pdfs = np.stack(
+            [multivariate_normal(mean=m, cov=np.eye(2)).pdf(x) for m in mix.means], axis=1
+        )
+        expected = np.log(component_pdfs @ mix.weights)
+        np.testing.assert_allclose(mix.log_pdf(x), expected)
+
+    def test_weights_normalised(self):
+        mix = GaussianMixture(np.zeros((3, 2)), weights=np.array([1.0, 1.0, 2.0]))
+        np.testing.assert_allclose(mix.weights.sum(), 1.0)
+
+    def test_responsibilities_sum_to_one(self):
+        mix = self._two_component()
+        x = np.random.default_rng(1).normal(size=(15, 2))
+        resp = mix.responsibilities(x)
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0)
+        assert np.all(resp >= 0)
+
+    def test_responsibilities_favour_nearest_component(self):
+        mix = self._two_component()
+        resp = mix.responsibilities(np.array([[3.0, 0.0]]))
+        assert resp[0, 0] > 0.9
+
+    def test_sample_respects_weights(self):
+        mix = self._two_component()
+        samples = mix.sample(20_000, seed=0)
+        fraction_right = np.mean(samples[:, 0] > 0)
+        assert abs(fraction_right - 0.25) < 0.02
+
+    def test_sample_zero(self):
+        assert self._two_component().sample(0).shape == (0, 2)
+
+    def test_per_component_stds(self):
+        means = np.zeros((2, 3))
+        stds = np.array([[0.5, 0.5, 0.5], [2.0, 2.0, 2.0]])
+        mix = GaussianMixture(means, stds=stds)
+        assert mix.stds.shape == (2, 3)
+
+    def test_components_returns_normals(self):
+        comps = self._two_component().components()
+        assert len(comps) == 2
+        assert all(isinstance(c, MultivariateNormal) for c in comps)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((2, 2)), weights=np.array([-1.0, 2.0]))
+
+    def test_invalid_means_shape(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(np.zeros((0, 2)))
+
+    def test_density_integrates_to_one_1d_grid(self):
+        mix = GaussianMixture(np.array([[1.0], [-2.0]]), stds=0.7)
+        grid = np.linspace(-10, 10, 4001)[:, None]
+        integral = np.trapezoid(mix.pdf(grid), grid[:, 0])
+        assert abs(integral - 1.0) < 1e-3

@@ -1,0 +1,196 @@
+"""Tests for coupling layers, permutations and the full NeuralSplineFlow."""
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.autodiff import Tensor
+from repro.flows import (
+    AffineCoupling,
+    FlowConfig,
+    NeuralSplineFlow,
+    Permutation,
+    RationalQuadraticCoupling,
+    Reverse,
+    StandardNormalBase,
+)
+
+
+class TestPermutation:
+    def test_forward_inverse_roundtrip(self):
+        perm = Permutation.random(6, seed=0)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        y, log_det = perm.forward(x)
+        x_back, _ = perm.inverse(y)
+        np.testing.assert_allclose(x_back.data, x.data)
+        np.testing.assert_allclose(log_det.data, 0.0)
+
+    def test_reverse(self):
+        rev = Reverse(4)
+        x = Tensor(np.arange(8.0).reshape(2, 4))
+        y, _ = rev.forward(x)
+        np.testing.assert_array_equal(y.data, x.data[:, ::-1])
+
+    def test_invalid_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 0, 1]))
+
+
+class TestStandardNormalBase:
+    def test_log_prob_matches_scipy(self):
+        base = StandardNormalBase(3)
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        expected = multivariate_normal(mean=np.zeros(3)).logpdf(x)
+        np.testing.assert_allclose(base.log_prob(Tensor(x)).data, expected)
+        np.testing.assert_allclose(base.log_prob_numpy(x), expected)
+
+    def test_sample_shape_and_moments(self):
+        base = StandardNormalBase(4)
+        samples = base.sample(20_000, seed=0)
+        assert samples.shape == (20_000, 4)
+        np.testing.assert_allclose(samples.mean(axis=0), 0.0, atol=0.05)
+        np.testing.assert_allclose(samples.std(axis=0), 1.0, atol=0.05)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            StandardNormalBase(0)
+
+    def test_wrong_shape_rejected(self):
+        base = StandardNormalBase(3)
+        with pytest.raises(ValueError):
+            base.log_prob(Tensor(np.zeros((2, 4))))
+
+
+@pytest.mark.parametrize("coupling_cls", [RationalQuadraticCoupling, AffineCoupling])
+class TestCouplingLayers:
+    def test_forward_inverse_roundtrip(self, coupling_cls):
+        layer = coupling_cls(6, hidden_sizes=(16,), seed=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(8, 6)))
+        y, log_det = layer.forward(x)
+        x_back, log_det_inv = layer.inverse(y)
+        np.testing.assert_allclose(x_back.data, x.data, atol=1e-7)
+        np.testing.assert_allclose(log_det.data, -log_det_inv.data, atol=1e-7)
+
+    def test_identity_half_unchanged(self, coupling_cls):
+        layer = coupling_cls(6, hidden_sizes=(16,), seed=0, swap=False)
+        x = np.random.default_rng(2).normal(size=(5, 6))
+        y, _ = layer.forward(Tensor(x))
+        np.testing.assert_allclose(y.data[:, : layer.d_identity], x[:, : layer.d_identity])
+
+    def test_swap_transforms_other_half(self, coupling_cls):
+        layer = coupling_cls(6, hidden_sizes=(16,), seed=0, swap=True)
+        x = np.random.default_rng(3).normal(size=(5, 6))
+        y, _ = layer.forward(Tensor(x))
+        # With swap=True the *last* d_identity coordinates are the identity part.
+        np.testing.assert_allclose(y.data[:, -layer.d_identity :], x[:, -layer.d_identity :])
+
+    def test_zero_init_is_identity(self, coupling_cls):
+        layer = coupling_cls(4, hidden_sizes=(8,), seed=0)
+        x = np.random.default_rng(4).normal(size=(6, 4))
+        y, log_det = layer.forward(Tensor(x))
+        np.testing.assert_allclose(y.data, x, atol=1e-6)
+        np.testing.assert_allclose(log_det.data, 0.0, atol=1e-6)
+
+    def test_rejects_wrong_dimension(self, coupling_cls):
+        layer = coupling_cls(4, hidden_sizes=(8,), seed=0)
+        with pytest.raises(ValueError):
+            layer.forward(Tensor(np.zeros((3, 5))))
+
+    def test_rejects_dim_one(self, coupling_cls):
+        with pytest.raises(ValueError):
+            coupling_cls(1, hidden_sizes=(8,), seed=0)
+
+
+class TestNeuralSplineFlow:
+    def _small_flow(self, dim=4, seed=0, **overrides):
+        config = FlowConfig(
+            n_layers=2, n_bins=4, hidden_sizes=(16,), epochs=20, batch_size=64, **overrides
+        )
+        return NeuralSplineFlow(dim, config, seed=seed)
+
+    def test_initial_flow_equals_standard_normal(self):
+        flow = self._small_flow()
+        x = np.random.default_rng(0).normal(size=(50, 4)) * 2.0
+        expected = multivariate_normal(mean=np.zeros(4)).logpdf(x)
+        np.testing.assert_allclose(flow.log_prob(x), expected, atol=1e-8)
+
+    def test_sample_log_prob_consistency(self):
+        flow = self._small_flow(seed=3)
+        flow.fit(np.random.default_rng(1).normal(size=(100, 4)) + 1.5, seed=2, epochs=10)
+        samples, log_q = flow.sample(200, seed=5, return_log_prob=True)
+        np.testing.assert_allclose(log_q, flow.log_prob(samples), atol=1e-8)
+
+    def test_training_improves_likelihood_of_shifted_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(300, 4)) * 0.5 + 2.0
+        flow = self._small_flow(seed=1)
+        before = flow.log_prob(data).mean()
+        flow.fit(data, seed=2, epochs=40)
+        after = flow.log_prob(data).mean()
+        assert after > before + 1.0
+
+    def test_sampling_matches_training_distribution(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(400, 4)) * 0.5 + 2.0
+        flow = self._small_flow(seed=1)
+        flow.fit(data, seed=2, epochs=60)
+        samples = flow.sample(2000, seed=3)
+        # Means should move most of the way towards the data means.
+        assert np.all(samples.mean(axis=0) > 1.0)
+
+    def test_weighted_fit_resamples(self):
+        rng = np.random.default_rng(0)
+        data = np.concatenate([rng.normal(size=(100, 4)) + 3.0, rng.normal(size=(100, 4)) - 3.0])
+        weights = np.concatenate([np.ones(100), np.zeros(100)])
+        flow = self._small_flow(seed=2)
+        flow.fit(data, weights=weights, seed=3, epochs=40)
+        samples = flow.sample(500, seed=4)
+        # Only the positive-mean half carried weight.
+        assert samples.mean() > 0.5
+
+    def test_invalid_weights_rejected(self):
+        flow = self._small_flow()
+        data = np.zeros((10, 4))
+        with pytest.raises(ValueError):
+            flow.fit(data, weights=np.ones(5))
+        with pytest.raises(ValueError):
+            flow.fit(data, weights=-np.ones(10))
+
+    def test_zero_samples(self):
+        flow = self._small_flow()
+        samples = flow.sample(0, seed=0)
+        assert samples.shape == (0, 4)
+
+    def test_affine_coupling_variant(self):
+        config = FlowConfig(n_layers=2, hidden_sizes=(16,), coupling="affine", epochs=5)
+        flow = NeuralSplineFlow(4, config, seed=0)
+        x = np.random.default_rng(0).normal(size=(20, 4))
+        assert np.all(np.isfinite(flow.log_prob(x)))
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            NeuralSplineFlow(1, FlowConfig())
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            NeuralSplineFlow(4, FlowConfig(coupling="planar"))
+
+    def test_paper_config_sizes(self):
+        small = FlowConfig.paper(108)
+        large = FlowConfig.paper(569)
+        assert small.hidden_sizes == (432,) * 4
+        assert large.hidden_sizes == (600,) * 7
+
+    def test_log_prob_integrates_to_one_in_2d(self):
+        """Grid-integrate the 2-D flow density; it must normalise to ~1."""
+        flow = NeuralSplineFlow(
+            2, FlowConfig(n_layers=2, n_bins=4, hidden_sizes=(16,), epochs=20), seed=0
+        )
+        rng = np.random.default_rng(0)
+        flow.fit(rng.normal(size=(200, 2)) + 1.0, seed=1, epochs=20)
+        grid = np.linspace(-8, 8, 161)
+        xx, yy = np.meshgrid(grid, grid)
+        points = np.column_stack([xx.ravel(), yy.ravel()])
+        density = np.exp(flow.log_prob(points))
+        integral = density.sum() * (grid[1] - grid[0]) ** 2
+        assert abs(integral - 1.0) < 0.05

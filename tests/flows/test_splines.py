@@ -1,0 +1,168 @@
+"""Tests for the monotonic rational-quadratic spline transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autodiff import Tensor
+from repro.autodiff.grad_check import gradient_check
+from repro.flows.splines import rational_quadratic_spline
+
+N_BINS = 5
+
+
+def _random_params(shape, seed=0, scale=0.5):
+    rng = np.random.default_rng(seed)
+    widths = Tensor(scale * rng.standard_normal(shape + (N_BINS,)), requires_grad=True)
+    heights = Tensor(scale * rng.standard_normal(shape + (N_BINS,)), requires_grad=True)
+    derivs = Tensor(scale * rng.standard_normal(shape + (N_BINS + 1,)), requires_grad=True)
+    return widths, heights, derivs
+
+
+class TestForwardInverseConsistency:
+    def test_roundtrip_inside_domain(self):
+        x = Tensor(np.linspace(-4.5, 4.5, 50))
+        widths, heights, derivs = _random_params((50,), seed=1)
+        y, log_det = rational_quadratic_spline(x, widths, heights, derivs, tail_bound=5.0)
+        x_back, log_det_inv = rational_quadratic_spline(
+            y, widths, heights, derivs, inverse=True, tail_bound=5.0
+        )
+        np.testing.assert_allclose(x_back.data, x.data, atol=1e-8)
+        np.testing.assert_allclose(log_det.data + log_det_inv.data, 0.0, atol=1e-8)
+
+    def test_identity_outside_domain(self):
+        x = Tensor(np.array([-9.0, 7.5, 20.0]))
+        widths, heights, derivs = _random_params((3,), seed=2)
+        y, log_det = rational_quadratic_spline(x, widths, heights, derivs, tail_bound=5.0)
+        np.testing.assert_allclose(y.data, x.data)
+        np.testing.assert_allclose(log_det.data, 0.0)
+
+    def test_monotonicity(self):
+        x = Tensor(np.linspace(-4.9, 4.9, 200))
+        widths, heights, derivs = _random_params((200,), seed=3, scale=1.5)
+        # Use identical parameters for all points so outputs must be ordered.
+        widths = Tensor(np.tile(widths.data[:1], (200, 1)), requires_grad=False)
+        heights = Tensor(np.tile(heights.data[:1], (200, 1)), requires_grad=False)
+        derivs = Tensor(np.tile(derivs.data[:1], (200, 1)), requires_grad=False)
+        y, _ = rational_quadratic_spline(x, widths, heights, derivs, tail_bound=5.0)
+        assert np.all(np.diff(y.data) > 0)
+
+    def test_domain_preserved(self):
+        x = Tensor(np.linspace(-4.99, 4.99, 100))
+        widths, heights, derivs = _random_params((100,), seed=4, scale=2.0)
+        y, _ = rational_quadratic_spline(x, widths, heights, derivs, tail_bound=5.0)
+        assert np.all(np.abs(y.data) <= 5.0 + 1e-9)
+
+    def test_log_det_matches_numerical_derivative(self):
+        x_values = np.linspace(-3.0, 3.0, 21)
+        widths, heights, derivs = _random_params((21,), seed=5)
+        y, log_det = rational_quadratic_spline(
+            Tensor(x_values), widths, heights, derivs, tail_bound=5.0
+        )
+        eps = 1e-5
+        y_plus, _ = rational_quadratic_spline(
+            Tensor(x_values + eps), widths, heights, derivs, tail_bound=5.0
+        )
+        numerical = (y_plus.data - y.data) / eps
+        np.testing.assert_allclose(np.exp(log_det.data), numerical, rtol=1e-3)
+
+    def test_zero_params_close_to_identity(self):
+        x = Tensor(np.linspace(-4.0, 4.0, 30))
+        zeros_w = Tensor(np.zeros((30, N_BINS)))
+        zeros_h = Tensor(np.zeros((30, N_BINS)))
+        # Interior derivative logits chosen so softplus gives exactly 1.
+        init = np.log(np.expm1(1.0 - 1e-3))
+        derivs = Tensor(np.full((30, N_BINS + 1), init))
+        y, log_det = rational_quadratic_spline(x, zeros_w, zeros_h, derivs, tail_bound=5.0)
+        np.testing.assert_allclose(y.data, x.data, atol=1e-6)
+        np.testing.assert_allclose(log_det.data, 0.0, atol=1e-6)
+
+
+class TestGradients:
+    def test_gradients_wrt_parameters(self):
+        x = Tensor(np.linspace(-3.0, 3.0, 8))
+        widths, heights, derivs = _random_params((8,), seed=6)
+
+        def f(inputs):
+            w, h, d = inputs
+            y, log_det = rational_quadratic_spline(x, w, h, d, tail_bound=5.0)
+            return (y * y).sum() + log_det.sum()
+
+        assert gradient_check(f, [widths, heights, derivs], rtol=1e-3, atol=1e-5)
+
+    def test_gradients_wrt_inputs(self):
+        x = Tensor(np.linspace(-2.5, 2.5, 6), requires_grad=True)
+        widths, heights, derivs = _random_params((6,), seed=7)
+        widths.requires_grad = heights.requires_grad = derivs.requires_grad = False
+
+        def f(inputs):
+            y, log_det = rational_quadratic_spline(
+                inputs[0], widths, heights, derivs, tail_bound=5.0
+            )
+            return (y * y).sum() + log_det.sum()
+
+        assert gradient_check(f, [x], rtol=1e-3, atol=1e-5)
+
+    def test_inverse_gradients_wrt_parameters(self):
+        y = Tensor(np.linspace(-3.0, 3.0, 8))
+        widths, heights, derivs = _random_params((8,), seed=8)
+
+        def f(inputs):
+            w, h, d = inputs
+            z, log_det = rational_quadratic_spline(y, w, h, d, inverse=True, tail_bound=5.0)
+            return (z * z).sum() + log_det.sum()
+
+        assert gradient_check(f, [widths, heights, derivs], rtol=1e-3, atol=1e-5)
+
+
+class TestValidation:
+    def test_mismatched_heights(self):
+        x = Tensor(np.zeros(3))
+        with pytest.raises(ValueError):
+            rational_quadratic_spline(
+                x, Tensor(np.zeros((3, 5))), Tensor(np.zeros((3, 4))), Tensor(np.zeros((3, 6)))
+            )
+
+    def test_wrong_derivative_count(self):
+        x = Tensor(np.zeros(3))
+        with pytest.raises(ValueError):
+            rational_quadratic_spline(
+                x, Tensor(np.zeros((3, 5))), Tensor(np.zeros((3, 5))), Tensor(np.zeros((3, 5)))
+            )
+
+    def test_negative_tail_bound(self):
+        x = Tensor(np.zeros(3))
+        with pytest.raises(ValueError):
+            rational_quadratic_spline(
+                x,
+                Tensor(np.zeros((3, 5))),
+                Tensor(np.zeros((3, 5))),
+                Tensor(np.zeros((3, 6))),
+                tail_bound=-1.0,
+            )
+
+
+class TestPropertyBased:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        scale=st.floats(min_value=0.1, max_value=3.0),
+        tail_bound=st.floats(min_value=1.0, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, seed, scale, tail_bound):
+        rng = np.random.default_rng(seed)
+        n = 20
+        x = rng.uniform(-tail_bound * 1.5, tail_bound * 1.5, size=n)
+        widths = Tensor(scale * rng.standard_normal((n, N_BINS)))
+        heights = Tensor(scale * rng.standard_normal((n, N_BINS)))
+        derivs = Tensor(scale * rng.standard_normal((n, N_BINS + 1)))
+        y, log_det = rational_quadratic_spline(
+            Tensor(x), widths, heights, derivs, tail_bound=tail_bound
+        )
+        x_back, log_det_inv = rational_quadratic_spline(
+            y, widths, heights, derivs, inverse=True, tail_bound=tail_bound
+        )
+        assert np.all(np.isfinite(y.data))
+        assert np.all(np.isfinite(log_det.data))
+        np.testing.assert_allclose(x_back.data, x, atol=1e-6)
+        np.testing.assert_allclose(log_det.data, -log_det_inv.data, atol=1e-6)

@@ -1,0 +1,154 @@
+"""Tests for repro.nn.layers and initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import Linear, MLP, Parameter, ReLU, Sequential, Tanh
+from repro.nn.init import kaiming_uniform, normal_, xavier_uniform, zeros
+from repro.nn.layers import Module
+
+
+class TestParameterRegistration:
+    def test_parameters_collected(self):
+        layer = Linear(3, 2, seed=0)
+        params = layer.parameters()
+        assert len(params) == 2  # weight + bias
+        assert all(isinstance(p, Parameter) for p in params)
+
+    def test_no_bias(self):
+        layer = Linear(3, 2, bias=False, seed=0)
+        assert len(layer.parameters()) == 1
+
+    def test_nested_modules_collected(self):
+        model = Sequential([Linear(3, 4, seed=0), ReLU(), Linear(4, 1, seed=1)])
+        assert len(model.parameters()) == 4
+
+    def test_named_parameters_unique_names(self):
+        model = Sequential([Linear(3, 4, seed=0), Linear(4, 2, seed=1)])
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == len(set(names)) == 4
+
+    def test_num_parameters(self):
+        layer = Linear(3, 2, seed=0)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+    def test_zero_grad_clears(self):
+        layer = Linear(2, 1, seed=0)
+        out = layer(Tensor(np.ones((4, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = MLP(3, [8], 2, seed=0)
+        b = MLP(3, [8], 2, seed=1)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        assert not np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a(Tensor(x)).data, b(Tensor(x)).data)
+
+    def test_missing_key_rejected(self):
+        a = Linear(2, 2, seed=0)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        a = Linear(2, 2, seed=0)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self):
+        layer = Linear(3, 2, seed=0)
+        x = np.random.default_rng(1).normal(size=(5, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+    def test_deterministic_init_with_seed(self):
+        a, b = Linear(4, 4, seed=7), Linear(4, 4, seed=7)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestActivationsAndSequential:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_array_equal(out.data, [0.0, 2.0])
+
+    def test_tanh(self):
+        out = Tanh()(Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential([Linear(2, 2, seed=0), ReLU()])
+        x = np.random.default_rng(0).normal(size=(3, 2))
+        out = model(Tensor(x))
+        assert np.all(out.data >= 0)
+
+    def test_sequential_indexing(self):
+        model = Sequential([Linear(2, 2, seed=0), ReLU()])
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+
+class TestMLP:
+    def test_output_shape(self):
+        mlp = MLP(5, [16, 16], 3, seed=0)
+        out = mlp(Tensor(np.zeros((7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_zero_init_output_starts_at_zero(self):
+        mlp = MLP(5, [16], 3, seed=0, zero_init_output=True)
+        out = mlp(Tensor(np.random.default_rng(0).normal(size=(4, 5))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ValueError):
+            MLP(3, [4], 1, activation="swish")
+
+    def test_invalid_hidden_size(self):
+        with pytest.raises(ValueError):
+            MLP(3, [0], 1)
+
+    def test_paper_conditioner_sizes(self):
+        small = MLP.paper_conditioner(10, 4, problem_dimension=108, seed=0)
+        large = MLP.paper_conditioner(10, 4, problem_dimension=569, seed=0)
+        assert small.hidden_sizes == [432] * 4
+        assert large.hidden_sizes == [600] * 7
+
+    def test_gradients_flow_to_all_parameters(self):
+        mlp = MLP(4, [8, 8], 2, seed=0)
+        out = (mlp(Tensor(np.random.default_rng(0).normal(size=(6, 4)))) ** 2).sum()
+        out.backward()
+        assert all(p.grad is not None for p in mlp.parameters())
+
+
+class TestInitialisers:
+    def test_xavier_bounds(self):
+        w = xavier_uniform((100, 50), seed=0)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_kaiming_bounds(self):
+        w = kaiming_uniform((100, 50), seed=0)
+        limit = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_normal_scale(self):
+        w = normal_((10000,), std=0.01, seed=0)
+        assert abs(np.std(w) - 0.01) < 0.002

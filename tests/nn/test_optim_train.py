@@ -1,0 +1,147 @@
+"""Tests for the optimisers and the MLE training loop."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.nn import MLP, Adam, SGD
+from repro.nn.layers import Linear, Parameter
+from repro.nn.train import TrainingHistory, train_mle
+
+
+def _quadratic_loss(param: Parameter) -> Tensor:
+    # Minimum at 3.0 in every coordinate.
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = _quadratic_loss(param)
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-3)
+
+    def test_momentum_accepted(self):
+        param = Parameter(np.zeros(2))
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(150):
+            opt.zero_grad()
+            _quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, 3.0, atol=0.05)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.5)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=-1)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            _quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, 3.0, atol=1e-2)
+
+    def test_skips_non_finite_gradients(self):
+        param = Parameter(np.zeros(2))
+        opt = Adam([param], lr=0.1)
+        param.grad = np.array([np.nan, 1.0])
+        opt.step()
+        np.testing.assert_array_equal(param.data, np.zeros(2))
+
+    def test_none_gradient_skipped(self):
+        param = Parameter(np.ones(2))
+        opt = Adam([param], lr=0.1)
+        opt.step()  # no backward called -> grad is None
+        np.testing.assert_array_equal(param.data, np.ones(2))
+
+    def test_gradient_clipping(self):
+        param = Parameter(np.zeros(1))
+        opt = Adam([param], lr=0.1, grad_clip=1.0)
+        param.grad = np.array([1e9])
+        opt.step()
+        # With clipping, the first Adam step is bounded by ~lr.
+        assert abs(param.data[0]) <= 0.11
+
+    def test_weight_decay_shrinks_params(self):
+        param = Parameter(np.full(3, 10.0))
+        opt = Adam([param], lr=0.05, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            (param * 0.0).sum().backward()
+            opt.step()
+        assert np.all(np.abs(param.data) < 10.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.2, 0.9))
+
+
+class TestTrainMLE:
+    def _gaussian_nll_factory(self, mu: Parameter):
+        def loss_fn(batch: np.ndarray) -> Tensor:
+            diff = Tensor(batch) - mu
+            return (diff * diff).mean() * 0.5
+
+        return loss_fn
+
+    def test_fits_mean_of_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=2.0, size=(500, 3))
+        mu = Parameter(np.zeros(3))
+        history = train_mle(
+            self._gaussian_nll_factory(mu), Adam([mu], lr=0.05), data, epochs=100, seed=1
+        )
+        np.testing.assert_allclose(mu.data, data.mean(axis=0), atol=0.05)
+        assert history.n_epochs == 100
+        assert history.best_loss <= history.losses[0]
+
+    def test_history_records_best_epoch(self):
+        history = TrainingHistory()
+        history.record(0, 1.0)
+        history.record(1, 0.5)
+        history.record(2, 0.7)
+        assert history.best_epoch == 1
+        assert history.best_loss == 0.5
+
+    def test_full_batch_when_batch_size_none(self):
+        data = np.random.default_rng(0).normal(size=(32, 2))
+        mu = Parameter(np.zeros(2))
+        train_mle(self._gaussian_nll_factory(mu), Adam([mu], lr=0.1), data,
+                  epochs=5, batch_size=None, seed=0)
+
+    def test_rejects_empty_data(self):
+        mu = Parameter(np.zeros(2))
+        with pytest.raises(ValueError):
+            train_mle(self._gaussian_nll_factory(mu), Adam([mu], lr=0.1),
+                      np.empty((0, 2)), epochs=5)
+
+    def test_callback_invoked(self):
+        calls = []
+        data = np.random.default_rng(0).normal(size=(16, 2))
+        mu = Parameter(np.zeros(2))
+        train_mle(
+            self._gaussian_nll_factory(mu),
+            Adam([mu], lr=0.1),
+            data,
+            epochs=3,
+            callback=lambda epoch, loss: calls.append((epoch, loss)),
+            seed=0,
+        )
+        assert len(calls) == 3

@@ -1,0 +1,219 @@
+"""Tests for the yield-problem interface, toy, synthetic and SRAM problems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems import (
+    FunctionProblem,
+    LinearThresholdProblem,
+    MultiRegionProblem,
+    QuadraticProblem,
+    get_problem,
+    list_problems,
+    make_sram_problem,
+    make_toy_problems,
+    register_problem,
+)
+from repro.problems.toy import (
+    four_region_problem,
+    ring_problem,
+    shifted_region_problem,
+    single_region_problem,
+    two_region_problem,
+    toy_problem_by_name,
+)
+
+
+class TestYieldProblemInterface:
+    def test_simulation_count_accumulates(self, small_linear_problem):
+        rng = np.random.default_rng(0)
+        small_linear_problem.indicator(small_linear_problem.sample_prior(10, rng))
+        small_linear_problem.indicator(small_linear_problem.sample_prior(5, rng))
+        assert small_linear_problem.simulation_count == 15
+        small_linear_problem.reset_count()
+        assert small_linear_problem.simulation_count == 0
+
+    def test_indicator_binary(self, small_linear_problem):
+        rng = np.random.default_rng(0)
+        ind = small_linear_problem.indicator(small_linear_problem.sample_prior(100, rng))
+        assert set(np.unique(ind)).issubset({0, 1})
+
+    def test_wrong_dimension_rejected(self, small_linear_problem):
+        with pytest.raises(ValueError):
+            small_linear_problem.indicator(np.zeros((3, 5)))
+
+    def test_function_problem_wraps_callable(self):
+        problem = FunctionProblem(3, lambda x: x.sum(axis=1), thresholds=np.array([2.0]))
+        ind = problem.indicator(np.array([[1.0, 1.0, 1.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_array_equal(ind, [1, 0])
+
+    def test_invalid_true_pf(self):
+        with pytest.raises(ValueError):
+            FunctionProblem(2, lambda x: x.sum(axis=1), np.array([1.0]),
+                            true_failure_probability=1.5)
+
+    def test_performance_shape_validated(self):
+        problem = FunctionProblem(2, lambda x: np.zeros((x.shape[0], 3)), np.array([1.0]))
+        with pytest.raises(ValueError):
+            problem.simulate(np.zeros((2, 2)))
+
+
+class TestToyProblems:
+    def test_five_problems(self):
+        problems = make_toy_problems()
+        assert len(problems) == 5
+        assert len({p.name for p in problems}) == 5
+        assert all(p.dimension == 2 for p in problems)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            single_region_problem,
+            two_region_problem,
+            four_region_problem,
+            ring_problem,
+            shifted_region_problem,
+        ],
+    )
+    def test_true_pf_matches_monte_carlo(self, factory):
+        """The analytic failure probabilities agree with brute-force MC."""
+        problem = factory()
+        rng = np.random.default_rng(0)
+        n = 4_000_000
+        x = rng.standard_normal((n, 2))
+        estimate = problem.indicator(x).mean()
+        expected = problem.true_failure_probability
+        # Within 4 binomial standard deviations (and not trivially zero).
+        std = np.sqrt(expected * (1 - expected) / n)
+        assert abs(estimate - expected) < max(4 * std, 2e-6)
+
+    def test_two_region_problem_has_two_regions(self):
+        problem = two_region_problem(shift=3.0)
+        assert problem.indicator(np.array([[4.0, 0.0], [-4.0, 0.0]])).tolist() == [1, 1]
+
+    def test_ring_failure_outside(self):
+        problem = ring_problem(radius=4.0)
+        assert problem.indicator(np.array([[5.0, 0.0], [0.0, 0.0]])).tolist() == [1, 0]
+
+    def test_lookup_by_name(self):
+        assert toy_problem_by_name("toy_ring").name == "toy_ring"
+        with pytest.raises(KeyError):
+            toy_problem_by_name("missing")
+
+
+class TestSyntheticProblems:
+    def test_linear_true_pf_matches_mc(self):
+        problem = LinearThresholdProblem(32, threshold_sigma=2.5)
+        rng = np.random.default_rng(0)
+        estimate = problem.indicator(rng.standard_normal((500_000, 32))).mean()
+        assert abs(estimate - problem.true_failure_probability) / problem.true_failure_probability < 0.1
+
+    def test_linear_norm_minimisation_point_is_on_boundary(self):
+        problem = LinearThresholdProblem(12, threshold_sigma=3.0)
+        point = problem.norm_minimisation_point()
+        margin = problem.performance(point[None, :])[0, 0]
+        assert margin == pytest.approx(problem.thresholds[0], rel=1e-9)
+        assert np.linalg.norm(point) == pytest.approx(3.0, rel=1e-9)
+
+    def test_quadratic_true_pf_matches_mc(self):
+        problem = QuadraticProblem(16, active_dimensions=3, radius=3.5)
+        rng = np.random.default_rng(1)
+        estimate = problem.indicator(rng.standard_normal((500_000, 16))).mean()
+        assert abs(estimate - problem.true_failure_probability) / problem.true_failure_probability < 0.15
+
+    def test_multi_region_true_pf_matches_mc(self):
+        problem = MultiRegionProblem(16, n_regions=4, threshold_sigma=2.8)
+        rng = np.random.default_rng(2)
+        estimate = problem.indicator(rng.standard_normal((500_000, 16))).mean()
+        assert abs(estimate - problem.true_failure_probability) / problem.true_failure_probability < 0.1
+
+    def test_invalid_configurations(self):
+        with pytest.raises(ValueError):
+            LinearThresholdProblem(4, weights=np.zeros(4))
+        with pytest.raises(ValueError):
+            QuadraticProblem(4, active_dimensions=8)
+        with pytest.raises(ValueError):
+            MultiRegionProblem(4, n_regions=8)
+
+    @given(
+        dim=st.integers(min_value=2, max_value=64),
+        sigma=st.floats(min_value=1.5, max_value=4.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_linear_pf_decreases_with_threshold(self, dim, sigma):
+        lower = LinearThresholdProblem(dim, threshold_sigma=sigma)
+        higher = LinearThresholdProblem(dim, threshold_sigma=sigma + 0.5)
+        assert higher.true_failure_probability < lower.true_failure_probability
+
+    @given(n_regions=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_multi_region_pf_increases_with_regions(self, n_regions):
+        base = MultiRegionProblem(8, n_regions=1, threshold_sigma=3.0)
+        multi = MultiRegionProblem(8, n_regions=n_regions, threshold_sigma=3.0)
+        assert multi.true_failure_probability >= base.true_failure_probability - 1e-15
+
+
+class TestSramProblems:
+    def test_configs_available(self):
+        for key in ("sram_108", "sram_108_paper", "sram_569", "sram_1093"):
+            assert key in list_problems() or key  # registry includes them
+
+    def test_sram_108_problem_basics(self):
+        problem = make_sram_problem("sram_108")
+        assert problem.dimension == 108
+        assert problem.true_failure_probability is not None
+        rng = np.random.default_rng(0)
+        ind = problem.indicator(rng.standard_normal((2000, 108)))
+        assert problem.simulation_count == 2000
+        assert ind.sum() < 100  # rare event
+
+    def test_sram_failure_rate_near_reference(self):
+        problem = make_sram_problem("sram_108")
+        rng = np.random.default_rng(3)
+        n = 200_000
+        pf = problem.indicator(rng.standard_normal((n, 108))).mean()
+        reference = problem.true_failure_probability
+        assert pf < 10 * reference
+        assert pf > reference / 10
+
+    def test_unknown_case(self):
+        with pytest.raises(KeyError):
+            make_sram_problem("sram_42")
+
+    def test_recalibrate_path(self):
+        problem = make_sram_problem(
+            "sram_108", recalibrate=True, target_failure_probability=0.01,
+            calibration_samples=5000,
+        )
+        assert problem.true_failure_probability is None
+        rng = np.random.default_rng(0)
+        pf = problem.indicator(rng.standard_normal((20_000, 108))).mean()
+        assert 0.002 < pf < 0.05
+
+    def test_describe(self):
+        problem = make_sram_problem("sram_108")
+        assert "108" in problem.describe()
+
+
+class TestRegistry:
+    def test_list_and_get(self):
+        names = list_problems()
+        assert "toy_ring" in names
+        assert "sram_108" in names
+        problem = get_problem("toy_ring")
+        assert problem.name == "toy_ring"
+
+    def test_fresh_instances(self):
+        a = get_problem("toy_ring")
+        a.indicator(np.zeros((3, 2)))
+        b = get_problem("toy_ring")
+        assert b.simulation_count == 0
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_problem("toy_ring", lambda: None)
+
+    def test_unknown_problem(self):
+        with pytest.raises(KeyError):
+            get_problem("does_not_exist")

@@ -1,0 +1,118 @@
+"""Tests for the behavioural MOSFET device models."""
+
+import numpy as np
+import pytest
+
+from repro.spice.devices import (
+    DeviceType,
+    Mosfet,
+    MosfetParameters,
+    NMOS_REFERENCE,
+    PMOS_REFERENCE,
+    VariationKind,
+    drive_current,
+    leakage_current,
+    series_current,
+)
+
+
+class TestMosfetParameters:
+    def test_defaults_are_physical(self):
+        p = MosfetParameters()
+        assert 0 < p.vth < 1.0
+        assert p.alpha > 1.0
+        assert p.transconductance > 0
+
+    def test_scaled_changes_geometry_only(self):
+        p = NMOS_REFERENCE.scaled(width=2.0)
+        assert p.width == 2.0
+        assert p.vth == NMOS_REFERENCE.vth
+
+    def test_pmos_weaker_than_nmos(self):
+        assert PMOS_REFERENCE.mobility < NMOS_REFERENCE.mobility
+
+
+class TestEffectiveParameters:
+    def _device(self):
+        return Mosfet("m0", DeviceType.NMOS, NMOS_REFERENCE, role="pull_down")
+
+    def test_no_deltas_gives_nominal(self):
+        eff = self._device().effective_parameters({})
+        assert eff["vth"] == pytest.approx(NMOS_REFERENCE.vth)
+
+    def test_vth_shift_is_linear_in_delta(self):
+        device = self._device()
+        plus = device.effective_parameters({VariationKind.THRESHOLD_VOLTAGE: np.array([2.0])})
+        minus = device.effective_parameters({VariationKind.THRESHOLD_VOLTAGE: np.array([-2.0])})
+        sigma = device.variation_sigmas[VariationKind.THRESHOLD_VOLTAGE]
+        assert plus["vth"][0] == pytest.approx(NMOS_REFERENCE.vth + 2 * sigma)
+        assert minus["vth"][0] == pytest.approx(NMOS_REFERENCE.vth - 2 * sigma)
+
+    def test_mobility_increases_beta(self):
+        device = self._device()
+        nominal = device.effective_parameters({})["beta"]
+        boosted = device.effective_parameters({VariationKind.MOBILITY: np.array([3.0])})["beta"][0]
+        assert boosted > nominal
+
+    def test_thicker_oxide_reduces_beta(self):
+        device = self._device()
+        nominal = device.effective_parameters({})["beta"]
+        degraded = device.effective_parameters(
+            {VariationKind.OXIDE_THICKNESS: np.array([3.0])}
+        )["beta"][0]
+        assert degraded < nominal
+
+    def test_extreme_deltas_stay_physical(self):
+        device = self._device()
+        eff = device.effective_parameters(
+            {kind: np.array([-40.0]) for kind in VariationKind}
+        )
+        assert np.all(eff["beta"] > 0)
+        assert np.all(np.isfinite(eff["vth"]))
+
+    def test_vectorised_over_samples(self):
+        device = self._device()
+        deltas = {VariationKind.THRESHOLD_VOLTAGE: np.linspace(-3, 3, 11)}
+        eff = device.effective_parameters(deltas)
+        assert eff["vth"].shape == (11,)
+        assert np.all(np.diff(eff["vth"]) > 0)
+
+
+class TestCurrents:
+    def test_drive_current_decreases_with_vth(self):
+        beta = np.array([3e-4])
+        low = drive_current(np.array([0.3]), beta, gate_drive=1.0)
+        high = drive_current(np.array([0.5]), beta, gate_drive=1.0)
+        assert low[0] > high[0]
+
+    def test_drive_current_zero_overdrive_falls_back_to_leakage(self):
+        beta = np.array([3e-4])
+        current = drive_current(np.array([1.5]), beta, gate_drive=1.0)
+        assert current[0] > 0
+        assert current[0] < 1e-6
+
+    def test_leakage_exponential_in_vth(self):
+        beta = np.array([3e-4])
+        weak = leakage_current(np.array([0.3]), beta)
+        strong = leakage_current(np.array([0.5]), beta)
+        # 200 mV of threshold at ~36 mV/decade-equivalent slope: >100x ratio.
+        assert weak[0] / strong[0] > 100
+
+    def test_leakage_bounded_for_negative_vth(self):
+        beta = np.array([3e-4])
+        current = leakage_current(np.array([-5.0]), beta)
+        assert np.isfinite(current[0])
+
+    def test_series_current_below_both(self):
+        a, b = np.array([2e-4]), np.array([1e-4])
+        s = series_current(a, b)
+        assert s[0] < min(a[0], b[0])
+
+    def test_series_current_symmetric(self):
+        a, b = np.array([2e-4]), np.array([1e-4])
+        np.testing.assert_allclose(series_current(a, b), series_current(b, a))
+
+    def test_series_current_dominated_by_weak_device(self):
+        strong, weak = np.array([1.0]), np.array([1e-6])
+        s = series_current(strong, weak)
+        assert s[0] == pytest.approx(1e-6, rel=1e-3)

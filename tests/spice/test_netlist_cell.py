@@ -1,0 +1,114 @@
+"""Tests for the netlist representation and the 6T cell."""
+
+import numpy as np
+import pytest
+
+from repro.spice.cell import CellSizing, SixTransistorCell
+from repro.spice.devices import DeviceType, Mosfet, NMOS_REFERENCE
+from repro.spice.netlist import Netlist
+
+
+class TestNetlist:
+    def _device(self, name="m0", role="generic"):
+        return Mosfet(name, DeviceType.NMOS, NMOS_REFERENCE, role=role)
+
+    def test_add_and_lookup(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1"), drain="out", gate="in", source="gnd")
+        assert net.get("m1").name == "m1"
+        assert len(net) == 1
+
+    def test_duplicate_name_rejected(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1"), drain="a", gate="b", source="c")
+        with pytest.raises(ValueError):
+            net.add_device(self._device("m1"), drain="a", gate="b", source="c")
+
+    def test_unknown_device_lookup(self):
+        with pytest.raises(KeyError):
+            Netlist("test").get("missing")
+
+    def test_nodes_created_on_demand_and_reused(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1"), drain="x", gate="y", source="gnd")
+        net.add_device(self._device("m2"), drain="x", gate="z", source="gnd")
+        node_names = [n.name for n in net.nodes]
+        assert node_names.count("x") == 1
+
+    def test_default_bulk_by_polarity(self):
+        net = Netlist("test")
+        nmos = self._device("mn")
+        pmos = Mosfet("mp", DeviceType.PMOS, NMOS_REFERENCE)
+        net.add_device(nmos, drain="a", gate="b", source="c")
+        net.add_device(pmos, drain="a", gate="b", source="c")
+        assert net.get("mn").connections["bulk"].name == "gnd"
+        assert net.get("mp").connections["bulk"].name == "vdd"
+
+    def test_by_role(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1", role="access"), drain="a", gate="b", source="c")
+        net.add_device(self._device("m2", role="pull_up"), drain="a", gate="b", source="c")
+        assert [i.name for i in net.by_role("access")] == ["m1"]
+
+    def test_count_by_type(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1"), drain="a", gate="b", source="c")
+        counts = net.count_by_type()
+        assert counts[DeviceType.NMOS] == 1
+        assert counts[DeviceType.PMOS] == 0
+
+    def test_connected_devices(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1"), drain="bl", gate="wl", source="q")
+        attached = net.connected_devices("bl")
+        assert ("m1", "drain") in attached
+
+    def test_validate_passes_for_complete_netlist(self):
+        net = Netlist("test")
+        net.add_device(self._device("m1"), drain="a", gate="b", source="c")
+        net.validate()
+
+    def test_summary_mentions_counts(self):
+        net = Netlist("demo")
+        net.add_device(self._device("m1"), drain="a", gate="b", source="c")
+        assert "1 devices" in net.summary() or "1 device" in net.summary()
+
+
+class TestSixTransistorCell:
+    def test_has_six_devices(self):
+        cell = SixTransistorCell(0)
+        assert len(cell.transistors) == 6
+
+    def test_device_polarities(self):
+        cell = SixTransistorCell(0)
+        polarities = {name: d.device_type for name, d in cell.devices.items()}
+        assert polarities["pull_up_left"] is DeviceType.PMOS
+        assert polarities["pull_down_left"] is DeviceType.NMOS
+        assert polarities["access_left"] is DeviceType.NMOS
+
+    def test_read_stability_sizing(self):
+        sizing = CellSizing()
+        assert sizing.pull_down_width > sizing.access_width > sizing.pull_up_width
+
+    def test_device_names_unique_per_cell(self):
+        a, b = SixTransistorCell(0), SixTransistorCell(1)
+        names_a = {d.name for d in a.transistors}
+        names_b = {d.name for d in b.transistors}
+        assert not names_a & names_b
+
+    def test_add_to_netlist_structure(self):
+        cell = SixTransistorCell(2)
+        net = Netlist("column")
+        cell.add_to_netlist(net)
+        assert len(net) == 6
+        # Both access devices are gated by the same word line.
+        wl_attached = {name for name, pin in net.connected_devices("wl2") if pin == "gate"}
+        assert wl_attached == {"cell2.access_left", "cell2.access_right"}
+        # The cross-coupled inverters share the storage nodes.
+        q_attached = {name for name, _ in net.connected_devices("cell2.q")}
+        assert "cell2.pull_down_left" in q_attached
+        assert "cell2.pull_up_left" in q_attached
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            SixTransistorCell(-1)

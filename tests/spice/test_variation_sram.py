@@ -1,0 +1,231 @@
+"""Tests for the variation map, the SRAM column model and the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    SramColumn,
+    SramColumnSpec,
+    SramSimulator,
+    VariationKind,
+    build_variation_map,
+)
+from repro.spice.cell import SixTransistorCell
+from repro.spice.variation import KIND_PRIORITY, VariationAssignment, VariationMap
+
+
+class TestBuildVariationMap:
+    def _devices(self, n=10):
+        return [SixTransistorCell(i).transistors[0] for i in range(n)]
+
+    def test_exact_dimension(self):
+        devices = self._devices(10)
+        vmap = build_variation_map(devices, 25)
+        assert vmap.dimension == 25
+        assert len(vmap.assignments) == 25
+
+    def test_threshold_voltage_allocated_first(self):
+        devices = self._devices(5)
+        vmap = build_variation_map(devices, 5)
+        kinds = {a.kind for a in vmap.assignments}
+        assert kinds == {VariationKind.THRESHOLD_VOLTAGE}
+
+    def test_at_most_priority_kinds_per_device(self):
+        devices = self._devices(4)
+        vmap = build_variation_map(devices, 4 * len(KIND_PRIORITY))
+        per_device = vmap.parameters_per_device()
+        assert max(per_device.values()) == len(KIND_PRIORITY)
+
+    def test_capacity_exceeded(self):
+        devices = self._devices(2)
+        with pytest.raises(ValueError):
+            build_variation_map(devices, 2 * len(KIND_PRIORITY) + 1)
+
+    def test_deterministic(self):
+        devices = self._devices(6)
+        a = build_variation_map(devices, 13)
+        b = build_variation_map(devices, 13)
+        assert [astr.dimension for astr in a.assignments] == [
+            bstr.dimension for bstr in b.assignments
+        ]
+        assert [astr.device_name for astr in a.assignments] == [
+            bstr.device_name for bstr in b.assignments
+        ]
+
+    def test_deltas_extracted_by_column(self):
+        devices = self._devices(3)
+        vmap = build_variation_map(devices, 6)
+        x = np.arange(12.0).reshape(2, 6)
+        name = devices[1].name
+        deltas = vmap.deltas_for_device(name, x)
+        column = vmap.columns_for_device(name)[VariationKind.THRESHOLD_VOLTAGE]
+        np.testing.assert_array_equal(deltas[VariationKind.THRESHOLD_VOLTAGE], x[:, column])
+
+    def test_describe_mentions_dimension(self):
+        vmap = build_variation_map(self._devices(3), 7)
+        assert "7 variation parameters" in vmap.describe()
+
+
+class TestVariationMapValidation:
+    def test_duplicate_assignment_rejected(self):
+        assignment = [
+            VariationAssignment("m0", VariationKind.THRESHOLD_VOLTAGE, 0),
+            VariationAssignment("m0", VariationKind.THRESHOLD_VOLTAGE, 1),
+        ]
+        with pytest.raises(ValueError):
+            VariationMap(assignment, 2)
+
+    def test_gap_in_dimensions_rejected(self):
+        assignment = [VariationAssignment("m0", VariationKind.THRESHOLD_VOLTAGE, 1)]
+        with pytest.raises(ValueError):
+            VariationMap(assignment, 1)
+
+
+class TestSramColumnSpecs:
+    def test_paper_dimensions(self):
+        assert SramColumnSpec.column_108().target_dimension == 108
+        assert SramColumnSpec.column_569().target_dimension == 569
+        assert SramColumnSpec.column_1093().target_dimension == 1093
+
+    def test_569_case_uses_528_transistors(self):
+        spec = SramColumnSpec.column_569()
+        assert spec.n_devices == 528
+        assert SramColumnSpec.column_1093().n_devices == 528
+
+    def test_invalid_spec(self):
+        with pytest.raises((ValueError, TypeError)):
+            SramColumnSpec("bad", n_rows=0, n_columns=1, n_power_gates=0, target_dimension=10)
+
+
+class TestSramColumn:
+    @pytest.fixture(scope="class")
+    def column(self):
+        return SramColumn(SramColumnSpec.column_108())
+
+    def test_dimension_matches_spec(self, column):
+        assert column.dimension == 108
+
+    def test_device_count(self, column):
+        assert len(column.netlist) == SramColumnSpec.column_108().n_devices
+
+    def test_describe(self, column):
+        text = column.describe()
+        assert "108" in text and "6T" in text
+
+    def test_evaluate_shapes(self, column):
+        x = np.zeros((5, 108))
+        out = column.evaluate(x)
+        assert out.shape == (5, 2)
+        assert np.all(out > 0)
+
+    def test_nominal_deterministic(self, column):
+        a = column.evaluate(np.zeros((1, 108)))
+        b = column.evaluate(np.zeros((1, 108)))
+        np.testing.assert_array_equal(a, b)
+
+    def test_wrong_dimension_rejected(self, column):
+        with pytest.raises(ValueError):
+            column.evaluate(np.zeros((2, 50)))
+
+    def test_weak_pull_down_slows_read(self, column):
+        """Raising the threshold voltage of a pull-down transistor increases read delay."""
+        nominal = column.evaluate(np.zeros((1, 108)))[0, 0]
+        device = column.cells[0].devices["pull_down_left"].name
+        col_idx = column.variation_map.columns_for_device(device)[
+            VariationKind.THRESHOLD_VOLTAGE
+        ]
+        x = np.zeros((1, 108))
+        x[0, col_idx] = 4.0
+        slowed = column.evaluate(x)[0, 0]
+        assert slowed > nominal
+
+    def test_strong_pull_up_slows_write(self, column):
+        """Lowering |Vth| of a pull-up transistor makes the write contention worse."""
+        nominal = column.evaluate(np.zeros((1, 108)))[0, 1]
+        device = column.cells[0].devices["pull_up_left"].name
+        col_idx = column.variation_map.columns_for_device(device)[
+            VariationKind.THRESHOLD_VOLTAGE
+        ]
+        x = np.zeros((1, 108))
+        x[0, col_idx] = -4.0
+        slowed = column.evaluate(x)[0, 1]
+        assert slowed > nominal
+
+    def test_sense_offset_slows_read(self, column):
+        """Mismatched sense-amp input pair requires more bit-line swing."""
+        sense = column.sense_amps[0]
+        left = column.variation_map.columns_for_device(sense["input_left"].name)[
+            VariationKind.THRESHOLD_VOLTAGE
+        ]
+        right = column.variation_map.columns_for_device(sense["input_right"].name)[
+            VariationKind.THRESHOLD_VOLTAGE
+        ]
+        x = np.zeros((1, 108))
+        x[0, left] = 3.0
+        x[0, right] = -3.0
+        mismatch = column.evaluate(x)[0, 0]
+        nominal = column.evaluate(np.zeros((1, 108)))[0, 0]
+        assert mismatch > nominal
+
+    def test_vectorised_matches_loop(self, column):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((10, 108))
+        batch = column.evaluate(x)
+        single = np.vstack([column.evaluate(x[i : i + 1]) for i in range(10)])
+        np.testing.assert_allclose(batch, single)
+
+    def test_outputs_finite_for_extreme_variations(self, column):
+        rng = np.random.default_rng(1)
+        x = 6.0 * rng.standard_normal((50, 108))
+        out = column.evaluate(x)
+        assert np.all(np.isfinite(out))
+        assert np.all(out > 0)
+
+
+class TestSramSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        sim = SramSimulator.from_spec(SramColumnSpec.column_108())
+        sim.set_thresholds(np.array([1.4e-10, 4.0e-11]))
+        return sim
+
+    def test_simulation_count_tracks_calls(self, simulator):
+        simulator.reset_count()
+        simulator.simulate(np.zeros((7, 108)))
+        simulator.simulate(np.zeros((3, 108)))
+        assert simulator.simulation_count == 10
+
+    def test_indicator_is_binary(self, simulator):
+        rng = np.random.default_rng(0)
+        ind = simulator.indicator(rng.standard_normal((100, 108)))
+        assert set(np.unique(ind)).issubset({0, 1})
+
+    def test_run_requires_thresholds(self):
+        sim = SramSimulator.from_spec(SramColumnSpec.column_108())
+        with pytest.raises(RuntimeError):
+            sim.run(np.zeros((1, 108)))
+
+    def test_invalid_thresholds(self, simulator):
+        with pytest.raises(ValueError):
+            simulator.set_thresholds(np.array([1.0]))
+        with pytest.raises(ValueError):
+            simulator.set_thresholds(np.array([-1.0, 1.0]))
+
+    def test_calibration_hits_target_rate(self):
+        sim = SramSimulator.from_spec(SramColumnSpec.column_108())
+        thresholds = sim.calibrate_thresholds(0.01, n_samples=20_000, seed=0)
+        assert thresholds.shape == (2,)
+        rng = np.random.default_rng(1)
+        pf = sim.indicator(rng.standard_normal((20_000, 108))).mean()
+        assert 0.003 < pf < 0.03
+
+    def test_calibration_does_not_count_simulations(self):
+        sim = SramSimulator.from_spec(SramColumnSpec.column_108())
+        sim.calibrate_thresholds(0.01, n_samples=5000, seed=0)
+        assert sim.simulation_count == 0
+
+    def test_failure_fraction_property(self, simulator):
+        rng = np.random.default_rng(2)
+        result = simulator.run(rng.standard_normal((500, 108)))
+        assert 0.0 <= result.failure_fraction <= 1.0
+        assert result.n_samples == 500

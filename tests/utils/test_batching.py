@@ -1,0 +1,73 @@
+"""Tests for repro.utils.batching."""
+
+import numpy as np
+import pytest
+
+from repro.utils.batching import batch_indices, evaluate_in_batches
+
+
+class TestBatchIndices:
+    def test_covers_range_exactly(self):
+        pairs = list(batch_indices(10, 3))
+        assert pairs == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_batch(self):
+        assert list(batch_indices(5, 100)) == [(0, 5)]
+
+    def test_zero_total(self):
+        assert list(batch_indices(0, 10)) == []
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(batch_indices(10, 0))
+
+
+class TestEvaluateInBatches:
+    def test_matches_direct_evaluation(self):
+        x = np.random.default_rng(0).normal(size=(107, 3))
+        func = lambda a: a.sum(axis=1)
+        np.testing.assert_allclose(evaluate_in_batches(func, x, batch_size=10), func(x))
+
+    def test_preserves_2d_outputs(self):
+        x = np.random.default_rng(0).normal(size=(25, 3))
+        func = lambda a: np.column_stack([a.sum(axis=1), a.max(axis=1)])
+        out = evaluate_in_batches(func, x, batch_size=4)
+        assert out.shape == (25, 2)
+        np.testing.assert_allclose(out, func(x))
+
+    def test_empty_input(self):
+        out = evaluate_in_batches(lambda a: a.sum(axis=1), np.empty((0, 3)))
+        assert out.shape == (0,)
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            evaluate_in_batches(lambda a: a, np.zeros(5))
+
+    def test_batch_function_called_with_bounded_sizes(self):
+        sizes = []
+
+        def func(a):
+            sizes.append(a.shape[0])
+            return a.sum(axis=1)
+
+        x = np.zeros((23, 2))
+        evaluate_in_batches(func, x, batch_size=5)
+        assert max(sizes) <= 5
+        assert sum(sizes) == 23
+
+
+class TestTimerAndLogger:
+    def test_timer_measures_elapsed(self):
+        from repro.utils.logging import Timer
+
+        with Timer("label") as t:
+            _ = sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_get_logger_idempotent_handlers(self):
+        from repro.utils.logging import get_logger
+
+        logger1 = get_logger("repro.test")
+        logger2 = get_logger("repro.test")
+        assert logger1 is logger2
+        assert len(logger1.handlers) == 1

@@ -1,0 +1,95 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    bootstrap_indices,
+    permutation_from_seed,
+    spawn_generators,
+    split_seed,
+)
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).standard_normal(5)
+        b = as_generator(7).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).standard_normal(5)
+        b = as_generator(2).standard_normal(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(11)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            as_generator(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+
+class TestSplitSeed:
+    def test_returns_requested_count(self):
+        assert len(split_seed(0, 5)) == 5
+
+    def test_children_are_independent_streams(self):
+        children = split_seed(0, 2)
+        a = np.random.default_rng(children[0]).standard_normal(10)
+        b = np.random.default_rng(children[1]).standard_normal(10)
+        assert not np.allclose(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = np.random.default_rng(split_seed(5, 3)[1]).standard_normal(4)
+        b = np.random.default_rng(split_seed(5, 3)[1]).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            split_seed(0, 0)
+
+    def test_split_from_generator(self):
+        gen = np.random.default_rng(0)
+        children = split_seed(gen, 3)
+        assert len(children) == 3
+
+
+class TestSpawnGenerators:
+    def test_count_and_type(self):
+        gens = spawn_generators(0, 4)
+        assert len(gens) == 4
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_streams_differ(self):
+        g1, g2 = spawn_generators(9, 2)
+        assert not np.allclose(g1.standard_normal(8), g2.standard_normal(8))
+
+
+class TestHelpers:
+    def test_permutation_from_seed_is_permutation(self):
+        perm = permutation_from_seed(3, 10)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_permutation_deterministic(self):
+        np.testing.assert_array_equal(permutation_from_seed(3, 10), permutation_from_seed(3, 10))
+
+    def test_bootstrap_indices_shapes(self):
+        rng = np.random.default_rng(0)
+        batches = list(bootstrap_indices(rng, 20, 5))
+        assert len(batches) == 5
+        assert all(b.shape == (20,) for b in batches)
+        assert all((b >= 0).all() and (b < 20).all() for b in batches)

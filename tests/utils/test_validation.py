@@ -1,0 +1,136 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_indicator,
+    check_integer,
+    check_positive,
+    check_probability,
+    check_samples_2d,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_positive("1", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(3, "n") == 3
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_integer(3.0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_integer(True, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValueError):
+            check_integer(0, "n", minimum=1)
+
+    def test_numpy_integer_accepted(self):
+        assert check_integer(np.int64(5), "n") == 5
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_boundary(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 0.0, 1.0)
+
+
+class TestCheckSamples2d:
+    def test_promotes_1d(self):
+        out = check_samples_2d(np.zeros(4))
+        assert out.shape == (1, 4)
+
+    def test_keeps_2d(self):
+        out = check_samples_2d(np.zeros((3, 4)))
+        assert out.shape == (3, 4)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_samples_2d(np.zeros((2, 3, 4)))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            check_samples_2d(np.zeros((3, 4)), dim=5)
+
+    def test_rejects_nan(self):
+        x = np.zeros((2, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            check_samples_2d(x)
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            check_samples_2d(np.zeros((3, 0)))
+
+
+class TestCheckIndicator:
+    def test_accepts_binary(self):
+        out = check_indicator(np.array([0, 1, 1, 0]))
+        assert out.dtype.kind == "i"
+
+    def test_accepts_bool(self):
+        out = check_indicator(np.array([True, False]))
+        np.testing.assert_array_equal(out, [1, 0])
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            check_indicator(np.array([0, 2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_indicator(np.zeros((2, 2)))
